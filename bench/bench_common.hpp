@@ -1,0 +1,70 @@
+// Shared scenario construction for the bench harnesses: every experiment
+// builds the same kind of synthetic Internet (topology + prefix assignment,
+// see DESIGN.md for the substitution rationale) from a common flag set, so
+// results are comparable across benches and reproducible from the printed
+// configuration line.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "addressing/assignment.hpp"
+#include "topology/cleaner.hpp"
+#include "topology/generator.hpp"
+#include "util/flags.hpp"
+
+namespace dragon::bench {
+
+/// Declares the scenario flags every harness shares.
+inline void define_scenario_flags(util::Flags& flags) {
+  flags.define("tier1", "8", "number of tier-1 ASs (peering clique)");
+  flags.define("transit", "250", "number of transit ASs");
+  flags.define("stubs", "1800", "number of stub ASs");
+  flags.define("regions", "5", "number of RIR-like regions");
+  flags.define("seed", "1", "master seed (topology, prefixes, trials)");
+  flags.define("paper-scale", "false",
+               "approximate the paper's dataset size (39k ASs, takes "
+               "minutes)");
+}
+
+struct Scenario {
+  topology::GeneratedTopology generated;
+  addressing::Assignment assignment;
+  addressing::AssignmentStats stats;
+};
+
+/// Builds a scenario from parsed flags.  Deterministic in --seed.
+inline Scenario build_scenario(const util::Flags& flags) {
+  topology::GeneratorParams tparams;
+  tparams.tier1_count = static_cast<std::uint32_t>(flags.u64("tier1"));
+  tparams.transit_count = static_cast<std::uint32_t>(flags.u64("transit"));
+  tparams.stub_count = static_cast<std::uint32_t>(flags.u64("stubs"));
+  tparams.regions = static_cast<std::uint32_t>(flags.u64("regions"));
+  tparams.seed = flags.u64("seed");
+  if (flags.boolean("paper-scale")) {
+    tparams.tier1_count = 12;
+    tparams.transit_count = 5200;
+    tparams.stub_count = 33000;
+  }
+
+  Scenario scenario;
+  scenario.generated = topology::generate_internet(tparams);
+
+  addressing::AssignmentParams aparams;
+  aparams.seed = flags.u64("seed") + 1;
+  scenario.assignment =
+      addressing::generate_assignment(scenario.generated, aparams);
+  scenario.stats = addressing::compute_stats(
+      scenario.assignment, scenario.generated.graph.node_count());
+
+  std::printf(
+      "# scenario: %zu ASs (%zu stubs), %zu links, %zu prefixes "
+      "(%zu parentless)\n",
+      scenario.generated.graph.node_count(),
+      scenario.generated.graph.stubs().size(),
+      scenario.generated.graph.link_count(), scenario.assignment.size(),
+      scenario.stats.parentless);
+  return scenario;
+}
+
+}  // namespace dragon::bench

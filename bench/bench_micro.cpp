@@ -1,0 +1,156 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// substrate pieces: prefix trie operations, forest construction, the
+// per-origin GR sweep, the generic solver, ORTC compression, and the event
+// engine's end-to-end convergence.
+#include <benchmark/benchmark.h>
+
+#include "addressing/assignment.hpp"
+#include "algebra/gr_path_algebra.hpp"
+#include "engine/simulator.hpp"
+#include "fibcomp/ortc.hpp"
+#include "prefix/prefix_forest.hpp"
+#include "prefix/prefix_trie.hpp"
+#include "routecomp/generic_solver.hpp"
+#include "routecomp/gr_sweep.hpp"
+#include "topology/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dragon;
+
+std::vector<prefix::Prefix> random_prefixes(std::size_t count,
+                                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<prefix::Prefix> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const prefix::Prefix p(static_cast<prefix::Address>(rng()),
+                           8 + static_cast<int>(rng.below(17)));
+    out.push_back(p);
+  }
+  return out;
+}
+
+topology::GeneratedTopology bench_topology() {
+  topology::GeneratorParams params;
+  params.tier1_count = 8;
+  params.transit_count = 250;
+  params.stub_count = 1800;
+  params.seed = 99;
+  return topology::generate_internet(params);
+}
+
+void BM_TrieInsert(benchmark::State& state) {
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    prefix::PrefixTrie<int> trie;
+    for (const auto& p : prefixes) trie.insert(p, 1);
+    benchmark::DoNotOptimize(trie.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrieInsert)->Arg(1000)->Arg(10000);
+
+void BM_TrieLookup(benchmark::State& state) {
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), 2);
+  prefix::PrefixTrie<int> trie;
+  for (const auto& p : prefixes) trie.insert(p, 1);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trie.lookup(static_cast<prefix::Address>(rng())));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrieLookup)->Arg(10000)->Arg(100000);
+
+void BM_ForestBuild(benchmark::State& state) {
+  auto prefixes = random_prefixes(static_cast<std::size_t>(state.range(0)), 4);
+  std::sort(prefixes.begin(), prefixes.end());
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
+                 prefixes.end());
+  for (auto _ : state) {
+    prefix::PrefixForest forest(prefixes);
+    benchmark::DoNotOptimize(forest.roots().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(prefixes.size()));
+}
+BENCHMARK(BM_ForestBuild)->Arg(10000)->Arg(100000);
+
+void BM_GrSweep(benchmark::State& state) {
+  static const auto gen = bench_topology();
+  util::Rng rng(5);
+  for (auto _ : state) {
+    const auto origin =
+        static_cast<topology::NodeId>(rng.below(gen.graph.node_count()));
+    benchmark::DoNotOptimize(routecomp::gr_sweep(gen.graph, origin));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(gen.graph.link_count()));
+}
+BENCHMARK(BM_GrSweep);
+
+void BM_GenericSolver(benchmark::State& state) {
+  static const auto gen = bench_topology();
+  static const auto net =
+      routecomp::LabeledNetwork::from_topology(gen.graph);
+  algebra::GrPathAlgebra alg;
+  util::Rng rng(6);
+  for (auto _ : state) {
+    const auto origin =
+        static_cast<topology::NodeId>(rng.below(gen.graph.node_count()));
+    benchmark::DoNotOptimize(routecomp::solve(
+        alg, net, origin,
+        algebra::GrPathAlgebra::make(algebra::GrClass::kCustomer, 0)));
+  }
+}
+BENCHMARK(BM_GenericSolver);
+
+void BM_OrtcCompress(benchmark::State& state) {
+  util::Rng rng(7);
+  fibcomp::Fib fib;
+  prefix::PrefixSet seen;
+  while (fib.size() < static_cast<std::size_t>(state.range(0))) {
+    const prefix::Prefix p(static_cast<prefix::Address>(rng()),
+                           8 + static_cast<int>(rng.below(17)));
+    if (seen.contains(p)) continue;
+    seen.insert(p);
+    fib.push_back({p, static_cast<fibcomp::NextHop>(rng.below(8))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fibcomp::compress_ortc(fib));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OrtcCompress)->Arg(10000)->Arg(50000);
+
+void BM_EngineConvergence(benchmark::State& state) {
+  topology::GeneratorParams params;
+  params.tier1_count = 4;
+  params.transit_count = 40;
+  params.stub_count = 300;
+  params.seed = 8;
+  const auto gen = topology::generate_internet(params);
+  algebra::GrPathAlgebra alg;
+  for (auto _ : state) {
+    engine::Config config;
+    config.mrai = 30.0;
+    engine::Simulator sim(gen.graph, alg, config);
+    sim.originate(*prefix::Prefix::from_bit_string("10"), 5,
+                  algebra::GrPathAlgebra::make(algebra::GrClass::kCustomer,
+                                               0));
+    sim.run_until_quiescent();
+    benchmark::DoNotOptimize(sim.stats().updates());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(gen.graph.link_count()));
+}
+BENCHMARK(BM_EngineConvergence);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// §3.4 ablation — partial deployment.  DRAGON deploys one AS at a time;
+// with GR policies any PD-ordered adoption keeps every stage route
+// consistent, and early adopters already save state.  This harness sweeps
+// the deployed fraction (random adopter sets, plus a "core-first" order
+// where large-cone ASs adopt first) and reports the realised filtering
+// efficiency at each stage.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dragon/efficiency.hpp"
+#include "stats/ccdf.hpp"
+#include "stats/table.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dragon;
+  util::Flags flags;
+  bench::define_scenario_flags(flags);
+  flags.define("prefix-cap", "4000",
+               "cap on assignment prefixes (suppression sweeps are pricier "
+               "than the closed form)");
+  if (!flags.parse(argc, argv)) return 1;
+  flags.print_config("bench_partial_deployment");
+
+  auto scenario = bench::build_scenario(flags);
+  const auto& topo = scenario.generated.graph;
+  const std::size_t n = topo.node_count();
+
+  // Cap the prefix count for tractability (each pair needs a suppressed
+  // sweep rather than the closed form).
+  if (scenario.assignment.size() > flags.u64("prefix-cap")) {
+    scenario.assignment.prefixes.resize(flags.u64("prefix-cap"));
+    scenario.assignment.origin.resize(flags.u64("prefix-cap"));
+    std::printf("# capped to %zu prefixes\n", scenario.assignment.size());
+  }
+
+  // Adoption orders: random, and core-first (descending customer cone).
+  util::Rng rng(flags.u64("seed") + 23);
+  std::vector<topology::NodeId> random_order(n);
+  for (topology::NodeId u = 0; u < n; ++u) random_order[u] = u;
+  rng.shuffle(random_order);
+
+  std::vector<topology::NodeId> core_first = random_order;
+  std::vector<std::size_t> cone(n);
+  for (topology::NodeId u = 0; u < n; ++u) {
+    cone[u] = topo.customer_cone_size(u);
+  }
+  std::stable_sort(core_first.begin(), core_first.end(),
+                   [&](auto a, auto b) { return cone[a] > cone[b]; });
+
+  const auto full = core::dragon_efficiency(topo, scenario.assignment, {});
+  const double full_median = stats::percentile(full.efficiency, 0.5);
+
+  stats::Table table({"deployed (%)", "order", "median eff (%)",
+                      "mean eff (%)", "mean eff of adopters (%)"});
+  for (double fraction : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const auto count = static_cast<std::size_t>(
+        fraction * static_cast<double>(n) + 0.5);
+    for (const auto* order_name : {"random", "core-first"}) {
+      const auto& order = std::string(order_name) == "random"
+                              ? random_order
+                              : core_first;
+      std::vector<char> deployed(n, 0);
+      for (std::size_t i = 0; i < count; ++i) deployed[order[i]] = 1;
+      const auto eff = core::partial_deployment_efficiency(
+          topo, scenario.assignment, deployed);
+      std::vector<double> adopters;
+      for (topology::NodeId u = 0; u < n; ++u) {
+        if (deployed[u]) adopters.push_back(eff[u]);
+      }
+      table.add_row(
+          {stats::format_number(100 * fraction), order_name,
+           stats::format_number(100 * stats::percentile(eff, 0.5), 2),
+           stats::format_number(100 * stats::mean_of(eff), 2),
+           stats::format_number(100 * stats::mean_of(adopters), 2)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nfull-deployment median for this (possibly capped) assignment: "
+      "%.2f%%\n",
+      100 * full_median);
+  std::printf(
+      "paper (§3.4): adoption is incentive compatible — adopters save "
+      "state immediately, and with isotone policies PD-ordered stages stay "
+      "route consistent.\n");
+  return 0;
+}

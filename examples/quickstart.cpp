@@ -1,0 +1,78 @@
+// Quickstart: the paper's running example (Figure 1) on the public API.
+//
+//   * build a small AS-level topology with GR business relationships;
+//   * compute the standard BGP stable states for a prefix p and its
+//     more-specific q;
+//   * run DRAGON's code CR to its fixpoint and inspect who filters, who is
+//     oblivious, and why the result is route consistent and optimal.
+//
+// Build and run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "algebra/gr_algebra.hpp"
+#include "dragon/consistency.hpp"
+#include "dragon/filtering.hpp"
+#include "routecomp/generic_solver.hpp"
+#include "topology/graph.hpp"
+
+int main() {
+  using namespace dragon;
+  using topology::NodeId;
+
+  // Figure 1: u2 is a provider of u3 and u4; u1 peers with u2; u3 and u4
+  // are providers of the multi-homed u6; u1 and u3 are providers of u5.
+  enum : NodeId { u1, u2, u3, u4, u5, u6 };
+  topology::Topology topo(6);
+  topo.add_peer_peer(u1, u2);
+  topo.add_provider_customer(u2, u3);
+  topo.add_provider_customer(u2, u4);
+  topo.add_provider_customer(u3, u6);
+  topo.add_provider_customer(u4, u6);
+  topo.add_provider_customer(u1, u5);
+  topo.add_provider_customer(u3, u5);
+
+  // u4 is assigned p and delegates the more-specific q to its customer u6.
+  const NodeId origin_p = u4;
+  const NodeId origin_q = u6;
+
+  algebra::GrAlgebra gr;
+  const auto net = routecomp::LabeledNetwork::from_topology(topo);
+  const auto customer = algebra::attr(algebra::GrClass::kCustomer);
+
+  // Run DRAGON for the (p, q) pair: solves both prefixes, then executes
+  // code CR at every node until the filtering decisions stabilise.
+  const auto run =
+      core::run_dragon_pair(gr, net, origin_p, customer, origin_q, customer);
+
+  const char* names[] = {"u1", "u2", "u3", "u4", "u5", "u6"};
+  std::printf("node  p-route    q-route    after DRAGON\n");
+  std::printf("---------------------------------------------\n");
+  for (NodeId u = 0; u < topo.node_count(); ++u) {
+    const char* state = "keeps q";
+    if (run.filters[u]) state = "filters q";
+    if (run.oblivious[u]) state = "oblivious of q";
+    if (u == origin_p) state = "keeps q (origin of p)";
+    if (u == origin_q) state = "keeps q (origin of q)";
+    std::printf("%-4s  %-9s  %-9s  %s\n", names[u],
+                gr.attr_name(run.p.attr[u]).c_str(),
+                gr.attr_name(run.q_before.attr[u]).c_str(), state);
+  }
+
+  const auto report = core::check_route_consistency(gr, run);
+  const auto delivery =
+      core::check_delivery(gr, net, run, origin_p, origin_q);
+  std::printf("\nroute consistent: %s\n",
+              report.route_consistent ? "yes" : "no");
+  std::printf("optimal forgo set: %s\n",
+              core::is_optimal(gr, run, origin_p) ? "yes" : "no");
+  std::printf("all packets delivered: %s\n",
+              delivery.all_delivered() ? "yes" : "no");
+
+  std::size_t forgoing = 0;
+  for (char f : run.forgo()) forgoing += static_cast<std::size_t>(f);
+  std::printf("\n%zu of %zu nodes forgo q — their forwarding tables shrink "
+              "while every packet still follows a route with the same GR "
+              "attribute as before.\n",
+              forgoing, topo.node_count());
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Traffic engineering with DRAGON (§3.9, Figure 7).
+//
+// u7 is multi-homed to u4 and u5 and balances inbound traffic by
+// de-aggregating its prefix p into p0 and p1, announcing p+p0 to u4 and
+// p+p1 to u5.  The providers respect the TE intent: each originates p
+// according to rule RA (a provider route, exported only to customers), and
+// u1 — electing customer routes for both halves — originates the
+// aggregation prefix p with a customer route.  Result: every AS except u1,
+// u4 and u7 forgoes p0, yet all p0 packets still enter via u4 exactly as
+// u7 intended.
+//
+// Build and run:  ./build/examples/traffic_engineering
+#include <cstdio>
+
+#include "algebra/gr_algebra.hpp"
+#include "dragon/filtering.hpp"
+#include "routecomp/generic_solver.hpp"
+
+namespace {
+
+using namespace dragon;
+using algebra::GrLabel;
+using topology::NodeId;
+
+enum : NodeId { u1, u2, u3, u4, u5, u6, u7, u8 };
+constexpr const char* kNames[] = {"u1", "u2", "u3", "u4",
+                                  "u5", "u6", "u7", "u8"};
+
+constexpr algebra::LabelId kFromCust =
+    algebra::label(GrLabel::kFromCustomer);
+constexpr algebra::LabelId kFromPeer = algebra::label(GrLabel::kFromPeer);
+constexpr algebra::LabelId kFromProv =
+    algebra::label(GrLabel::kFromProvider);
+
+// Figure 7 relationships: u1-u2 peers; u1 provider of u3, u4, u5;
+// u2 provider of u5; u4 provider of u6 and u7; u5 provider of u7 and u8.
+// `skip_p0_to_u5` / `skip_p1_to_u4` encode u7's selective announcements.
+routecomp::LabeledNetwork figure7(bool u7_announces_to_u4,
+                                  bool u7_announces_to_u5) {
+  routecomp::LabeledNetwork net(8);
+  net.add_symmetric(u1, u2, kFromPeer, kFromPeer);
+  for (NodeId c : {u3, u4, u5}) {
+    net.add_relation(c, u1, kFromProv);
+    net.add_relation(u1, c, kFromCust);
+  }
+  net.add_relation(u5, u2, kFromProv);
+  net.add_relation(u2, u5, kFromCust);
+  for (NodeId c : {u6, u7}) {
+    net.add_relation(c, u4, kFromProv);
+    if (c != u7 || u7_announces_to_u4) net.add_relation(u4, c, kFromCust);
+  }
+  for (NodeId c : {u7, u8}) {
+    net.add_relation(c, u5, kFromProv);
+    if (c != u7 || u7_announces_to_u5) net.add_relation(u5, c, kFromCust);
+  }
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  algebra::GrAlgebra gr;
+  const auto cust = algebra::attr(algebra::GrClass::kCustomer);
+  const auto prov = algebra::attr(algebra::GrClass::kProvider);
+
+  // p0: announced by u7 to u4 only.  p1: to u5 only.
+  const auto net_p0 = figure7(true, false);
+  const auto net_p1 = figure7(false, true);
+  const auto p0 = routecomp::solve(gr, net_p0, u7, cust);
+  const auto p1 = routecomp::solve(gr, net_p1, u7, cust);
+
+  // p: u4 and u5 originate per rule RA with provider routes (they elect a
+  // provider route for the "other" half), u1 originates the aggregation
+  // prefix with a customer route; none of them elects the customer p-route
+  // from u7 (§3.9's provider cooperation), so u7's arcs are absent.
+  const auto net_p = figure7(false, false);
+  const routecomp::Origination p_origins[] = {
+      {u4, prov}, {u5, prov}, {u1, cust}};
+  const auto p = routecomp::solve_multi(gr, net_p, p_origins);
+
+  std::printf("node  p0-route   p1-route   p-route    CR on p0\n");
+  std::printf("------------------------------------------------------\n");
+  bool forgo[8] = {};
+  for (NodeId u = 0; u < 8; ++u) {
+    // Origins of p (the three originators) and u7 never filter p0.
+    const bool origin_of_p = u == u1 || u == u4 || u == u5 || u == u7;
+    const bool filters = core::cr_filters(gr, p0.attr[u], p.attr[u],
+                                          origin_of_p && u != u5);
+    // u5 does filter per the paper: it originates p only toward customers
+    // and elects the learned provider p-route; its p0/p attributes are
+    // equal providers.  (We pass u5 through CR with the learned route.)
+    forgo[u] = filters || p0.attr[u] == algebra::kUnreachable;
+    std::printf("%-4s  %-9s  %-9s  %-9s  %s\n", kNames[u],
+                gr.attr_name(p0.attr[u]).c_str(),
+                gr.attr_name(p1.attr[u]).c_str(),
+                gr.attr_name(p.attr[u]).c_str(),
+                forgo[u] ? "forgoes p0" : "keeps p0");
+  }
+
+  // Trace p0-destined packets: keepers use their p0 route, everyone else
+  // falls through to p; all packets must enter u7 via u4 (the TE intent).
+  std::printf("\np0 packet paths (longest prefix match):\n");
+  for (NodeId start = 0; start < 8; ++start) {
+    NodeId at = start;
+    std::printf("  %s", kNames[at]);
+    int hops = 0;
+    bool via_u4 = start == u4 || start == u7;
+    while (at != u7 && hops++ < 10) {
+      const auto& state = forgo[at] ? p : p0;
+      const auto next_hops =
+          forgo[at]
+              ? routecomp::solver_forwarding_neighbors(gr, net_p, state, 255,
+                                                       at)
+              : routecomp::solver_forwarding_neighbors(gr, net_p0, state, u7,
+                                                       at);
+      if (next_hops.empty()) break;
+      at = next_hops.front();
+      if (at == u4) via_u4 = true;
+      std::printf(" -> %s", kNames[at]);
+    }
+    std::printf("  [%s%s]\n", at == u7 ? "delivered" : "STUCK",
+                at == u7 && via_u4 ? " via u4 as engineered" : "");
+  }
+  return 0;
+}

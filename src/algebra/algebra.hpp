@@ -1,0 +1,61 @@
+// Routing algebras (the framework of §4.1, after Sobrinho's "An algebraic
+// theory of dynamic network routing").
+//
+// An algebra supplies:
+//   * a set of attributes, totally ordered by preference, with a special
+//     least-preferred attribute `kUnreachable` (the paper's bullet);
+//   * labels: maps on attributes.  Each directed learning relation u<-v in a
+//     network carries a label L[uv]; the attribute alpha of the route
+//     elected at v extends into L[uv](alpha) at u.
+//
+// Attributes are encoded in 32 bits; the encoding is private to each
+// algebra.  All consumers (the generic solver, DRAGON's code CR, the event
+// engine) treat attributes as opaque ordered values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dragon::algebra {
+
+/// Opaque attribute encoding.  Ordering is defined by Algebra::prefer.
+using Attr = std::uint32_t;
+
+/// The unreachable attribute, least preferred in every algebra.
+inline constexpr Attr kUnreachable = 0xFFFFFFFFu;
+
+/// Opaque label identifier; meaning is private to each algebra.
+using LabelId = std::uint32_t;
+
+class Algebra {
+ public:
+  virtual ~Algebra() = default;
+
+  /// True if `a` is strictly preferred to `b` (a < b in the paper's order).
+  /// Every algebra must rank kUnreachable last.
+  [[nodiscard]] virtual bool prefer(Attr a, Attr b) const = 0;
+
+  /// Applies the label map: the attribute of a route elected across a link
+  /// with label `label`.  Labels fix kUnreachable: extend(l, •) = •.
+  /// Returning kUnreachable on a reachable input models "not exported".
+  [[nodiscard]] virtual Attr extend(LabelId label, Attr attr) const = 0;
+
+  /// Human-readable attribute name for traces and test failures.
+  [[nodiscard]] virtual std::string attr_name(Attr attr) const;
+
+  /// A finite attribute support used by the property checkers (isotonicity,
+  /// strict absorbency).  For algebras with small Sigma this is all of it;
+  /// for unbounded ones (shortest paths) it is a representative sample.
+  [[nodiscard]] virtual std::vector<Attr> attribute_support() const = 0;
+
+  /// All label ids this algebra defines.
+  [[nodiscard]] virtual std::vector<LabelId> label_support() const = 0;
+
+  /// Weak preference: prefer(a, b) or a == b.
+  [[nodiscard]] bool prefer_eq(Attr a, Attr b) const {
+    return a == b || prefer(a, b);
+  }
+};
+
+}  // namespace dragon::algebra

@@ -1,0 +1,96 @@
+#include "algebra/custom_algebra.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace dragon::algebra {
+
+TableAlgebra::TableAlgebra(std::vector<std::string> names,
+                           std::vector<std::vector<Attr>> maps)
+    : names_(std::move(names)), maps_(std::move(maps)) {
+  for (const auto& map : maps_) {
+    if (map.size() != names_.size()) {
+      throw std::invalid_argument("label map size must equal attribute count");
+    }
+    for (Attr a : map) {
+      if (a != kUnreachable && a >= names_.size()) {
+        throw std::invalid_argument("label map produces unknown attribute");
+      }
+    }
+  }
+}
+
+bool TableAlgebra::prefer(Attr a, Attr b) const { return a < b; }
+
+Attr TableAlgebra::extend(LabelId l, Attr a) const {
+  if (a == kUnreachable) return kUnreachable;
+  assert(l < maps_.size());
+  assert(a < names_.size());
+  return maps_[l][a];
+}
+
+std::string TableAlgebra::attr_name(Attr a) const {
+  if (a == kUnreachable) return "unreachable";
+  return names_[a];
+}
+
+std::vector<Attr> TableAlgebra::attribute_support() const {
+  std::vector<Attr> out(names_.size());
+  std::iota(out.begin(), out.end(), 0u);
+  return out;
+}
+
+std::vector<LabelId> TableAlgebra::label_support() const {
+  std::vector<LabelId> out(maps_.size());
+  std::iota(out.begin(), out.end(), static_cast<LabelId>(0));
+  return out;
+}
+
+TableAlgebra TableAlgebra::gao_rexford_with_siblings() {
+  constexpr Attr kC = 0, kP = 1, kR = 2;  // customer, peer, provider
+  const Attr X = kUnreachable;
+  return TableAlgebra({"customer", "peer", "provider"},
+                      {
+                          {kC, X, X},    // from customer: customer routes only
+                          {kP, X, X},    // from peer: customer routes only
+                          {kR, kR, kR},  // from provider: everything
+                          {kC, kP, kR},  // from sibling: everything, unchanged
+                      });
+}
+
+TableAlgebra TableAlgebra::next_hop(std::size_t ranks) {
+  // Attribute r = "learned from my rank-r neighbour"; lower rank preferred.
+  // Every label is a constant map (the receiver's preference for the
+  // sender), which makes isotonicity immediate.
+  std::vector<std::string> names;
+  names.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    names.push_back("rank" + std::to_string(r));
+  }
+  std::vector<std::vector<Attr>> maps(ranks,
+                                      std::vector<Attr>(ranks));
+  for (std::size_t label = 0; label < ranks; ++label) {
+    for (std::size_t from = 0; from < ranks; ++from) {
+      maps[label][from] = static_cast<Attr>(label);
+    }
+  }
+  return TableAlgebra(std::move(names), std::move(maps));
+}
+
+TableAlgebra TableAlgebra::random(util::Rng& rng, std::size_t attrs,
+                                  std::size_t labels, double drop) {
+  std::vector<std::string> names;
+  names.reserve(attrs);
+  for (std::size_t i = 0; i < attrs; ++i) names.push_back("a" + std::to_string(i));
+  std::vector<std::vector<Attr>> maps(labels, std::vector<Attr>(attrs));
+  for (auto& map : maps) {
+    for (auto& cell : map) {
+      cell = rng.chance(drop) ? kUnreachable
+                              : static_cast<Attr>(rng.below(attrs));
+    }
+  }
+  return TableAlgebra(std::move(names), std::move(maps));
+}
+
+}  // namespace dragon::algebra

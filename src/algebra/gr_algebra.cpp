@@ -1,0 +1,59 @@
+#include "algebra/gr_algebra.hpp"
+
+namespace dragon::algebra {
+
+std::string Algebra::attr_name(Attr a) const {
+  if (a == kUnreachable) return "unreachable";
+  return "attr(" + std::to_string(a) + ")";
+}
+
+bool GrAlgebra::prefer(Attr a, Attr b) const {
+  // Encodings are ordered: customer(0) < peer(1) < provider(2) < bullet.
+  return a < b;
+}
+
+Attr GrAlgebra::extend(LabelId l, Attr a) const {
+  if (a == kUnreachable) return kUnreachable;
+  switch (static_cast<GrLabel>(l)) {
+    case GrLabel::kFromCustomer:
+      // v exports only routes it elects as customer routes to its provider
+      // u; they arrive at u as customer routes.
+      return a == attr(GrClass::kCustomer) ? attr(GrClass::kCustomer)
+                                           : kUnreachable;
+    case GrLabel::kFromPeer:
+      // v exports only customer routes to its peer u; they arrive as peer
+      // routes.
+      return a == attr(GrClass::kCustomer) ? attr(GrClass::kPeer)
+                                           : kUnreachable;
+    case GrLabel::kFromProvider:
+      // v exports every route to its customer u; they arrive as provider
+      // routes.
+      return attr(GrClass::kProvider);
+  }
+  return kUnreachable;
+}
+
+std::string GrAlgebra::attr_name(Attr a) const {
+  switch (a) {
+    case attr(GrClass::kCustomer):
+      return "customer";
+    case attr(GrClass::kPeer):
+      return "peer";
+    case attr(GrClass::kProvider):
+      return "provider";
+    default:
+      return Algebra::attr_name(a);
+  }
+}
+
+std::vector<Attr> GrAlgebra::attribute_support() const {
+  return {attr(GrClass::kCustomer), attr(GrClass::kPeer),
+          attr(GrClass::kProvider)};
+}
+
+std::vector<LabelId> GrAlgebra::label_support() const {
+  return {label(GrLabel::kFromCustomer), label(GrLabel::kFromPeer),
+          label(GrLabel::kFromProvider)};
+}
+
+}  // namespace dragon::algebra

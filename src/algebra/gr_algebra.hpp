@@ -1,0 +1,39 @@
+// The Gao-Rexford (GR) algebra (§2): three attributes — learned from a
+// customer, from a peer, from a provider — with customer < peer < provider,
+// and the export rules: customer routes go to everyone, every route goes to
+// customers, nothing else is exported.
+#pragma once
+
+#include "algebra/algebra.hpp"
+
+namespace dragon::algebra {
+
+/// GR attribute encodings.
+enum class GrClass : Attr { kCustomer = 0, kPeer = 1, kProvider = 2 };
+
+[[nodiscard]] constexpr Attr attr(GrClass c) noexcept {
+  return static_cast<Attr>(c);
+}
+
+/// GR label encodings: the label of the learning relation u<-v is named by
+/// what v is to u.
+///   kFromCustomer: v is u's customer  (v exports everything it elects? no —
+///                  v exports only customer routes to its provider u).
+///   kFromPeer:     v is u's peer      (v exports only customer routes).
+///   kFromProvider: v is u's provider  (v exports everything to customer u).
+enum class GrLabel : LabelId { kFromCustomer = 0, kFromPeer = 1, kFromProvider = 2 };
+
+[[nodiscard]] constexpr LabelId label(GrLabel l) noexcept {
+  return static_cast<LabelId>(l);
+}
+
+class GrAlgebra final : public Algebra {
+ public:
+  [[nodiscard]] bool prefer(Attr a, Attr b) const override;
+  [[nodiscard]] Attr extend(LabelId l, Attr a) const override;
+  [[nodiscard]] std::string attr_name(Attr a) const override;
+  [[nodiscard]] std::vector<Attr> attribute_support() const override;
+  [[nodiscard]] std::vector<LabelId> label_support() const override;
+};
+
+}  // namespace dragon::algebra

@@ -1,0 +1,68 @@
+#include "algebra/property_check.hpp"
+
+namespace dragon::algebra {
+
+std::optional<IsotonicityViolation> find_isotonicity_violation(
+    const Algebra& algebra) {
+  const auto attrs = algebra.attribute_support();
+  for (LabelId l : algebra.label_support()) {
+    for (Attr a : attrs) {
+      for (Attr b : attrs) {
+        if (!algebra.prefer_eq(a, b)) continue;
+        const Attr ea = algebra.extend(l, a);
+        const Attr eb = algebra.extend(l, b);
+        if (!algebra.prefer_eq(ea, eb)) {
+          return IsotonicityViolation{l, a, b};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_isotone(const Algebra& algebra) {
+  return !find_isotonicity_violation(algebra).has_value();
+}
+
+std::optional<std::vector<Attr>> find_absorbency_violation(
+    const Algebra& algebra, const std::vector<LabelId>& cycle_labels) {
+  const auto attrs = algebra.attribute_support();
+  const std::size_t n = cycle_labels.size();
+  if (n == 0 || attrs.empty()) return std::nullopt;
+
+  // Odometer enumeration of attribute assignments alpha_0..alpha_{n-1}.
+  std::vector<std::size_t> idx(n, 0);
+  for (;;) {
+    std::vector<Attr> alpha(n);
+    for (std::size_t i = 0; i < n; ++i) alpha[i] = attrs[idx[i]];
+
+    // Condition (1): exists i with alpha_{i+1} strictly preferred to
+    // L[u_{i+1}u_i](alpha_i).  cycle_labels[i] is the label of the learning
+    // relation u_{i+1} <- u_i.
+    bool absorbed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Attr learned = algebra.extend(cycle_labels[i], alpha[i]);
+      if (algebra.prefer(alpha[(i + 1) % n], learned)) {
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) return alpha;
+
+    // Advance odometer.
+    std::size_t pos = 0;
+    while (pos < n && ++idx[pos] == attrs.size()) {
+      idx[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return std::nullopt;
+}
+
+bool is_strictly_absorbent(const Algebra& algebra,
+                           const std::vector<LabelId>& cycle_labels) {
+  return !find_absorbency_violation(algebra, cycle_labels).has_value();
+}
+
+}  // namespace dragon::algebra

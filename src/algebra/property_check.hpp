@@ -1,0 +1,48 @@
+// Checkers for the two algebraic properties the paper's theory rests on:
+//
+//   * Isotonicity (§3.3, §4.3): alpha <= beta implies
+//     L(alpha) <= L(beta) for every label L.  Guarantees the optimal
+//     route-consistent fixpoint (Theorem 4).
+//
+//   * Strict absorbency of a cycle (§4.1, condition (1)): for every
+//     assignment of reachable attributes (alpha_0..alpha_{n-1}) around the
+//     cycle, some node i has alpha_{i+1} strictly preferred to
+//     L[u_{i+1}u_i](alpha_i).  Guarantees protocol correctness (Theorem 1)
+//     and DRAGON correctness (Theorem 2).
+//
+// Both checks enumerate the algebra's attribute_support; they are meant for
+// verifying small, finite algebras (GR, table algebras) and for tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "algebra/algebra.hpp"
+
+namespace dragon::algebra {
+
+struct IsotonicityViolation {
+  LabelId label;
+  Attr preferred;     // alpha with alpha <= beta ...
+  Attr less_preferred;  // ... but extend(label, alpha) > extend(label, beta)
+};
+
+/// Returns a witness of non-isotonicity, or nullopt if every label in the
+/// support is isotone on the attribute support.
+[[nodiscard]] std::optional<IsotonicityViolation> find_isotonicity_violation(
+    const Algebra& algebra);
+
+[[nodiscard]] bool is_isotone(const Algebra& algebra);
+
+/// Checks condition (1) on one cycle, described by the labels
+/// L[u1u0], L[u2u1], ..., L[u0u_{n-1}] in traversal order.  Exhaustive over
+/// attribute_support()^n — intended for short cycles in tests.
+/// Returns a violating attribute assignment (one attribute per node), or
+/// nullopt if the cycle is strictly absorbent.
+[[nodiscard]] std::optional<std::vector<Attr>> find_absorbency_violation(
+    const Algebra& algebra, const std::vector<LabelId>& cycle_labels);
+
+[[nodiscard]] bool is_strictly_absorbent(const Algebra& algebra,
+                                         const std::vector<LabelId>& cycle_labels);
+
+}  // namespace dragon::algebra

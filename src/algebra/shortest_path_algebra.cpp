@@ -1,0 +1,27 @@
+#include "algebra/shortest_path_algebra.hpp"
+
+namespace dragon::algebra {
+
+bool ShortestPathAlgebra::prefer(Attr a, Attr b) const { return a < b; }
+
+Attr ShortestPathAlgebra::extend(LabelId weight, Attr distance) const {
+  if (distance == kUnreachable) return kUnreachable;
+  const std::uint64_t sum =
+      static_cast<std::uint64_t>(distance) + static_cast<std::uint64_t>(weight);
+  return sum >= kUnreachable ? kUnreachable - 1 : static_cast<Attr>(sum);
+}
+
+std::string ShortestPathAlgebra::attr_name(Attr a) const {
+  if (a == kUnreachable) return "unreachable";
+  return "dist=" + std::to_string(a);
+}
+
+std::vector<Attr> ShortestPathAlgebra::attribute_support() const {
+  return {0, 1, 2, 3, 5, 10, 100};
+}
+
+std::vector<LabelId> ShortestPathAlgebra::label_support() const {
+  return {1, 2, 5};
+}
+
+}  // namespace dragon::algebra

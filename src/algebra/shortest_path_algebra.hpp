@@ -1,0 +1,23 @@
+// Shortest-paths as an algebra: attributes are distances, labels add a
+// per-link weight.  Isotone (indeed, monotone), used by tests to show that
+// DRAGON's optimality theorem holds beyond inter-domain policies — while
+// its *efficiency* does not (§3.3's remark that isotone shortest paths give
+// little compaction without stretch).
+#pragma once
+
+#include "algebra/algebra.hpp"
+
+namespace dragon::algebra {
+
+class ShortestPathAlgebra final : public Algebra {
+ public:
+  /// Label ids double as link weights: extend(w, d) = d + w, saturating
+  /// below kUnreachable.
+  [[nodiscard]] bool prefer(Attr a, Attr b) const override;
+  [[nodiscard]] Attr extend(LabelId weight, Attr distance) const override;
+  [[nodiscard]] std::string attr_name(Attr a) const override;
+  [[nodiscard]] std::vector<Attr> attribute_support() const override;
+  [[nodiscard]] std::vector<LabelId> label_support() const override;
+};
+
+}  // namespace dragon::algebra

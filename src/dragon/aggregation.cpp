@@ -1,0 +1,77 @@
+#include "dragon/aggregation.hpp"
+
+#include <algorithm>
+
+#include "prefix/prefix_forest.hpp"
+
+namespace dragon::core {
+
+using topology::NodeId;
+
+std::vector<AggregationPrefix> elect_aggregation_prefixes(
+    const topology::Topology& topo, const addressing::Assignment& assignment) {
+  // Parentless prefixes and a map back to assignment indices.
+  prefix::PrefixForest forest(assignment.prefixes);
+  std::vector<prefix::Prefix> roots;
+  std::vector<std::int32_t> root_index;
+  for (std::int32_t r : forest.roots()) {
+    roots.push_back(assignment.prefixes[static_cast<std::size_t>(r)]);
+    root_index.push_back(r);
+  }
+
+  const auto candidates = prefix::compute_aggregation_prefixes(roots);
+
+  topology::AncestryCache ancestry(topo);
+  std::vector<AggregationPrefix> out;
+  for (const auto& cand : candidates) {
+    // A = intersection of the covered origins' provider-ancestor sets: the
+    // ASs electing customer routes for every covered prefix.
+    std::vector<NodeId> common;
+    {
+      const NodeId first_origin =
+          assignment.origin[static_cast<std::size_t>(
+              root_index[static_cast<std::size_t>(cand.covered.front())])];
+      const auto& first = ancestry.upset(first_origin);
+      common.assign(first.begin(), first.end());
+      std::sort(common.begin(), common.end());
+    }
+    for (std::size_t k = 1; k < cand.covered.size() && !common.empty(); ++k) {
+      const NodeId origin = assignment.origin[static_cast<std::size_t>(
+          root_index[static_cast<std::size_t>(cand.covered[k])])];
+      const auto& set = ancestry.upset(origin);
+      std::vector<NodeId> kept;
+      kept.reserve(common.size());
+      for (NodeId u : common) {
+        if (set.contains(u)) kept.push_back(u);
+      }
+      common = std::move(kept);
+    }
+    if (common.empty()) continue;
+
+    // Minimal elements of A in the provider-customer order: drop any member
+    // that is a strict ancestor of another member.
+    std::vector<NodeId> minimal;
+    for (NodeId a : common) {
+      bool is_minimal = true;
+      for (NodeId b : common) {
+        if (a != b && ancestry.upset(b).contains(a)) {
+          is_minimal = false;
+          break;
+        }
+      }
+      if (is_minimal) minimal.push_back(a);
+    }
+
+    AggregationPrefix agg;
+    agg.aggregate = cand.aggregate;
+    agg.covered.reserve(cand.covered.size());
+    for (std::int32_t c : cand.covered) {
+      agg.covered.push_back(root_index[static_cast<std::size_t>(c)]);
+    }
+    agg.originators = std::move(minimal);
+    out.push_back(std::move(agg));
+  }
+  return out;
+}
+
+}  // namespace dragon::core

@@ -1,0 +1,112 @@
+#include "dragon/consistency.hpp"
+
+#include <functional>
+
+namespace dragon::core {
+
+using algebra::Attr;
+using algebra::kUnreachable;
+using topology::NodeId;
+
+ConsistencyReport check_route_consistency(const algebra::Algebra& alg,
+                                          const PairRun& run) {
+  (void)alg;
+  ConsistencyReport report;
+  const std::size_t n = run.filters.size();
+  for (NodeId u = 0; u < n; ++u) {
+    if (run.q_before.attr[u] == kUnreachable) continue;
+    // Attribute of the route used to forward packets destined to q after
+    // DRAGON: the q-route if elected and unfiltered, else the p-route
+    // (longest prefix match falls through to the parent).
+    const bool uses_q =
+        run.q_after.attr[u] != kUnreachable && !run.filters[u];
+    const Attr after = uses_q ? run.q_after.attr[u] : run.p.attr[u];
+    if (after != run.q_before.attr[u]) {
+      report.route_consistent = false;
+      report.violations.push_back(u);
+    }
+  }
+  return report;
+}
+
+std::vector<char> optimal_forgo_set(const algebra::Algebra& alg,
+                                    const PairRun& run, NodeId origin_p) {
+  (void)alg;
+  const std::size_t n = run.filters.size();
+  std::vector<char> out(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    out[u] = static_cast<char>(u != origin_p &&
+                               run.q_before.attr[u] != kUnreachable &&
+                               run.q_before.attr[u] == run.p.attr[u]);
+  }
+  return out;
+}
+
+bool is_optimal(const algebra::Algebra& alg, const PairRun& run,
+                NodeId origin_p) {
+  return run.forgo() == optimal_forgo_set(alg, run, origin_p);
+}
+
+bool DeliveryReport::all_delivered() const {
+  for (Delivery d : outcome) {
+    if (d != Delivery::kDelivered) return false;
+  }
+  return true;
+}
+
+DeliveryReport check_delivery(const algebra::Algebra& alg,
+                              const routecomp::LabeledNetwork& net,
+                              const PairRun& run, NodeId origin_p,
+                              NodeId origin_q) {
+  const std::size_t n = net.node_count();
+  DeliveryReport report;
+  report.outcome.assign(n, Delivery::kDelivered);
+
+  // Next hops for a packet destined to q at node u.
+  auto hops = [&](NodeId u) -> std::vector<NodeId> {
+    const bool uses_q =
+        run.q_after.attr[u] != kUnreachable && !run.filters[u];
+    if (uses_q) {
+      return routecomp::solver_forwarding_neighbors(
+          alg, net, run.q_after, origin_q, u, &run.filters);
+    }
+    if (run.p.attr[u] != kUnreachable && u != origin_p) {
+      return routecomp::solver_forwarding_neighbors(alg, net, run.p, origin_p,
+                                                    u, nullptr);
+    }
+    return {};
+  };
+
+  // DFS over every forwarding choice; a repeated on-path node is a loop, a
+  // dead end anywhere other than origin_q is a black hole.
+  std::vector<char> on_path(n, 0);
+  std::function<Delivery(NodeId)> walk = [&](NodeId u) -> Delivery {
+    if (u == origin_q) return Delivery::kDelivered;
+    if (on_path[u]) return Delivery::kLoop;
+    const auto next = hops(u);
+    if (next.empty()) return Delivery::kBlackHole;
+    on_path[u] = 1;
+    Delivery worst = Delivery::kDelivered;
+    for (NodeId v : next) {
+      const Delivery d = walk(v);
+      if (d == Delivery::kLoop) {
+        worst = Delivery::kLoop;
+        break;
+      }
+      if (d == Delivery::kBlackHole) worst = Delivery::kBlackHole;
+    }
+    on_path[u] = 0;
+    return worst;
+  };
+
+  for (NodeId u = 0; u < n; ++u) {
+    if (run.q_before.attr[u] == kUnreachable && u != origin_q) {
+      // Node could not reach q even without DRAGON; not DRAGON's concern.
+      continue;
+    }
+    report.outcome[u] = walk(u);
+  }
+  return report;
+}
+
+}  // namespace dragon::core

@@ -1,0 +1,59 @@
+// Route-consistency, optimality, and packet-delivery checks (§3.3, §4).
+//
+// A DRAGON state for a (p, q) pair is *route consistent* if every node
+// forwards packets destined to q according to an elected route whose
+// attribute equals the attribute of the elected q-route before filtering.
+// It is *optimal* if the set of nodes forgoing q is maximal; under isotone
+// policies that set is E = { u != origin(p) : R[u;q] = R[u;p] } (Theorem 4,
+// Claim 3).  check_delivery verifies DRAGON's correctness claims (no black
+// holes, no forwarding loops — Theorem 2) by tracing every forwarding
+// choice from every node.
+#pragma once
+
+#include <vector>
+
+#include "dragon/filtering.hpp"
+
+namespace dragon::core {
+
+struct ConsistencyReport {
+  bool route_consistent = true;
+  /// Nodes whose post-DRAGON forwarding attribute differs from the
+  /// pre-DRAGON elected q-route attribute.
+  std::vector<topology::NodeId> violations;
+};
+
+/// Checks route consistency of a finished PairRun.
+[[nodiscard]] ConsistencyReport check_route_consistency(
+    const algebra::Algebra& alg, const PairRun& run);
+
+/// The closed-form optimal forgo set E (requires isotone policies for the
+/// optimality claim): u != origin(p) with equal unfiltered attributes.
+[[nodiscard]] std::vector<char> optimal_forgo_set(const algebra::Algebra& alg,
+                                                  const PairRun& run,
+                                                  topology::NodeId origin_p);
+
+/// True if the run's forgo set equals the optimal set E.
+[[nodiscard]] bool is_optimal(const algebra::Algebra& alg, const PairRun& run,
+                              topology::NodeId origin_p);
+
+enum class Delivery { kDelivered, kBlackHole, kLoop };
+
+struct DeliveryReport {
+  /// Outcome per start node for packets destined to q.
+  std::vector<Delivery> outcome;
+  [[nodiscard]] bool all_delivered() const;
+};
+
+/// Traces packets with destination in q (but not in any more-specific
+/// prefix) from every node, exploring *every* forwarding choice: a node
+/// electing an unfiltered q-route forwards to its q forwarding neighbours,
+/// otherwise it falls back to its p forwarding neighbours (longest prefix
+/// match).  Delivery means reaching origin_q.
+[[nodiscard]] DeliveryReport check_delivery(const algebra::Algebra& alg,
+                                            const routecomp::LabeledNetwork& net,
+                                            const PairRun& run,
+                                            topology::NodeId origin_p,
+                                            topology::NodeId origin_q);
+
+}  // namespace dragon::core

@@ -1,0 +1,45 @@
+#include "dragon/deaggregation.hpp"
+
+#include "dragon/filtering.hpp"
+
+namespace dragon::core {
+
+namespace {
+
+using prefix::Prefix;
+
+void tile_excluding(const Prefix& at, std::span<const Prefix> missing,
+                    std::vector<Prefix>& out) {
+  bool exact = false;
+  bool any_below = false;
+  for (const Prefix& m : missing) {
+    if (m.covers(at)) {
+      exact = true;  // the whole of `at` is excluded
+      break;
+    }
+    if (at.covers(m)) any_below = true;
+  }
+  if (exact) return;
+  if (!any_below) {
+    out.push_back(at);  // nothing excluded below: emit maximal prefix
+    return;
+  }
+  tile_excluding(at.child(0), missing, out);
+  tile_excluding(at.child(1), missing, out);
+}
+
+}  // namespace
+
+std::vector<Prefix> deaggregate_excluding(const Prefix& p,
+                                          std::span<const Prefix> missing) {
+  std::vector<Prefix> out;
+  tile_excluding(p, missing, out);
+  return out;
+}
+
+bool ra_violated(const algebra::Algebra& alg, algebra::Attr p_attr,
+                 algebra::Attr elected_q) {
+  return !ra_allows(alg, p_attr, elected_q);
+}
+
+}  // namespace dragon::core

@@ -1,0 +1,31 @@
+// De-aggregation (§3.8): when a network event leaves the origin of p unable
+// to announce p without violating rule RA (it no longer elects q-routes at
+// least as preferred as its p announcement), it withdraws p and announces
+// the maximal prefixes that tile p minus the offending more-specific
+// prefixes.  In the paper's example, p = 10 with q = 10000 missing yields
+// the announcements {10001, 1001, 101}.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "algebra/algebra.hpp"
+#include "prefix/prefix.hpp"
+
+namespace dragon::core {
+
+/// Maximal prefixes tiling p minus the union of `missing` (each missing
+/// prefix must be strictly more specific than p; overlapping missing
+/// prefixes are allowed — covered ones are redundant).  Returns prefixes in
+/// trie pre-order.  With a single missing prefix this is
+/// prefix::complement_within.
+[[nodiscard]] std::vector<prefix::Prefix> deaggregate_excluding(
+    const prefix::Prefix& p, std::span<const prefix::Prefix> missing);
+
+/// Does announcing p with `p_attr` violate rule RA given the elected
+/// attribute for the more specific q?  (Violation forces de-aggregation.)
+[[nodiscard]] bool ra_violated(const algebra::Algebra& alg,
+                               algebra::Attr p_attr,
+                               algebra::Attr elected_q);
+
+}  // namespace dragon::core

@@ -1,0 +1,39 @@
+// Partial deployment (§3.4).
+//
+// With isotone policies there is an adoption order that keeps every
+// intermediate stage route-consistent.  For GR policies, condition PD:
+// first execute CR at nodes electing a peer or provider q-route (any
+// order), then at nodes electing a customer q-route top-down the
+// provider-customer hierarchy (a node only after all its providers).
+#pragma once
+
+#include <vector>
+
+#include "dragon/filtering.hpp"
+#include "routecomp/gr_sweep.hpp"
+#include "topology/graph.hpp"
+
+namespace dragon::core {
+
+/// Produces an adoption order satisfying condition PD for the q
+/// computation described by `q_state` on `topo`.  Every node appears
+/// exactly once.
+[[nodiscard]] std::vector<topology::NodeId> pd_order(
+    const topology::Topology& topo, const routecomp::GrStableState& q_state);
+
+struct StagedDeploymentResult {
+  /// Stage s = first s nodes of the order deployed; stage 0 is vanilla BGP.
+  std::vector<char> stage_route_consistent;
+  [[nodiscard]] bool all_stages_consistent() const;
+};
+
+/// Deploys DRAGON node by node in `order`, running the (p, q) pair to its
+/// filtering fixpoint at each stage and checking route-consistency.
+/// Small-network verification tool (cost: O(stages) pair runs).
+[[nodiscard]] StagedDeploymentResult staged_deployment(
+    const algebra::Algebra& alg, const routecomp::LabeledNetwork& net,
+    topology::NodeId origin_p, algebra::Attr p_attr,
+    topology::NodeId origin_q, algebra::Attr q_attr,
+    const std::vector<topology::NodeId>& order);
+
+}  // namespace dragon::core

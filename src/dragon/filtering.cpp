@@ -1,0 +1,92 @@
+#include "dragon/filtering.hpp"
+
+namespace dragon::core {
+
+using algebra::Attr;
+using algebra::kUnreachable;
+
+bool cr_filters(const algebra::Algebra& alg, Attr elected_q, Attr elected_p,
+                bool is_origin_of_p) {
+  if (is_origin_of_p) return false;
+  if (elected_q == kUnreachable) return false;  // nothing to filter
+  if (elected_p == kUnreachable) return false;  // no parent route to fall back on
+  // Filter iff elected_q equals or is less preferred than elected_p.
+  return !alg.prefer(elected_q, elected_p);
+}
+
+bool cr_filters_slack(Attr elected_q, Attr elected_p, int slack,
+                      bool is_origin_of_p) {
+  using algebra::GrPathAlgebra;
+  if (is_origin_of_p) return false;
+  if (elected_q == kUnreachable || elected_p == kUnreachable) return false;
+  const auto class_q = static_cast<Attr>(GrPathAlgebra::class_of(elected_q));
+  const auto class_p = static_cast<Attr>(GrPathAlgebra::class_of(elected_p));
+  if (class_q > class_p) return true;  // L-attribute strictly less preferred
+  if (class_q < class_p) return false;
+  if (slack < 0) return true;  // X = +infinity: L-attributes equal suffices
+  const auto len_q =
+      static_cast<int>(GrPathAlgebra::path_length_of(elected_q));
+  const auto len_p =
+      static_cast<int>(GrPathAlgebra::path_length_of(elected_p));
+  // Keep q only when its AS-path undercuts p's by more than X links.
+  return len_p - len_q <= slack;
+}
+
+bool ra_allows(const algebra::Algebra& alg, Attr p_origin_attr,
+               Attr elected_q) {
+  if (elected_q == kUnreachable) return p_origin_attr == kUnreachable;
+  return !alg.prefer(p_origin_attr, elected_q);
+}
+
+std::vector<char> PairRun::forgo() const {
+  std::vector<char> out(filters.size());
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    out[i] = static_cast<char>(filters[i] || oblivious[i]);
+  }
+  return out;
+}
+
+PairRun run_dragon_pair(const algebra::Algebra& alg,
+                        const routecomp::LabeledNetwork& net,
+                        topology::NodeId origin_p, Attr p_attr,
+                        topology::NodeId origin_q, Attr q_attr,
+                        const std::vector<char>* deployed,
+                        int max_iterations) {
+  const std::size_t n = net.node_count();
+  PairRun run;
+  run.p = routecomp::solve(alg, net, origin_p, p_attr);
+  run.q_before = routecomp::solve(alg, net, origin_q, q_attr);
+  run.filters.assign(n, 0);
+  run.oblivious.assign(n, 0);
+  run.q_after = run.q_before;
+
+  auto is_deployed = [&](topology::NodeId u) {
+    return deployed == nullptr || (*deployed)[u];
+  };
+
+  for (int iter = 1; iter <= max_iterations; ++iter) {
+    run.iterations = iter;
+    run.q_after = routecomp::solve(alg, net, origin_q, q_attr, &run.filters);
+    std::vector<char> next(n, 0);
+    for (topology::NodeId u = 0; u < n; ++u) {
+      if (!is_deployed(u)) continue;
+      next[u] = static_cast<char>(cr_filters(
+          alg, run.q_after.attr[u], run.p.attr[u], u == origin_p));
+    }
+    if (next == run.filters) {
+      run.converged = true;
+      break;
+    }
+    run.filters = std::move(next);
+  }
+  // Final q state under the converged filter set.
+  run.q_after = routecomp::solve(alg, net, origin_q, q_attr, &run.filters);
+  for (topology::NodeId u = 0; u < n; ++u) {
+    run.oblivious[u] = static_cast<char>(
+        run.q_after.attr[u] == kUnreachable &&
+        run.q_before.attr[u] != kUnreachable && !run.filters[u]);
+  }
+  return run;
+}
+
+}  // namespace dragon::core

@@ -1,0 +1,70 @@
+// DRAGON's filtering code CR and its fixpoint on a network (§3.1, §3.5).
+//
+// Code CR, executed autonomously at a node for a prefix q with parent p:
+//   if the node is not the origin of p and the attribute of the elected
+//   q-route equals or is less preferred than the attribute of the elected
+//   p-route, filter q; otherwise do not filter q.
+//
+// run_dragon_pair iterates CR over all (deployed) nodes until the filtering
+// decisions stabilise, re-solving the q computation under the current
+// suppression each round — the small-network reference implementation used
+// by examples and tests, and the cross-check for the closed-form optimal
+// set (consistency.hpp) that the Internet-scale evaluation relies on.
+#pragma once
+
+#include <vector>
+
+#include "algebra/algebra.hpp"
+#include "algebra/gr_path_algebra.hpp"
+#include "routecomp/generic_solver.hpp"
+
+namespace dragon::core {
+
+/// Code CR on whole attributes.
+[[nodiscard]] bool cr_filters(const algebra::Algebra& alg,
+                              algebra::Attr elected_q, algebra::Attr elected_p,
+                              bool is_origin_of_p);
+
+/// Code CR specialised to GR-with-AS-path attributes with slack X (§3.5):
+/// filter iff the L-attribute (GR class) of the q-route is less preferred
+/// than the p-route's, or the classes are equal and the q-route's AS-path
+/// is not shorter than the p-route's by more than `slack` links.
+/// slack < 0 means X = +infinity (compare L-attributes only).
+[[nodiscard]] bool cr_filters_slack(algebra::Attr elected_q,
+                                    algebra::Attr elected_p, int slack,
+                                    bool is_origin_of_p);
+
+/// Rule RA (§3.2): may the origin of p announce p with `p_attr`, given its
+/// elected q-route attribute?  Requires the p-attribute to be equal or less
+/// preferred than the elected q-route attribute.
+[[nodiscard]] bool ra_allows(const algebra::Algebra& alg,
+                             algebra::Attr p_origin_attr,
+                             algebra::Attr elected_q);
+
+struct PairRun {
+  routecomp::SolveResult p;         // stable p computation (never filtered here)
+  routecomp::SolveResult q_before;  // q without any filtering
+  routecomp::SolveResult q_after;   // q under the final filtering decisions
+  std::vector<char> filters;        // node elects a q-route and filters it
+  std::vector<char> oblivious;      // node has no q-route because of upstream filtering
+  bool converged = false;
+  int iterations = 0;
+
+  /// forgo = filters or oblivious (§3.1).
+  [[nodiscard]] std::vector<char> forgo() const;
+};
+
+/// Runs DRAGON for one (p, q) pair: solves both prefixes, then iterates CR
+/// at every deployed node (all nodes when `deployed` is null) until the
+/// filter set stabilises.  With isotone policies this reaches the optimal
+/// route-consistent state (Theorem 4).
+[[nodiscard]] PairRun run_dragon_pair(const algebra::Algebra& alg,
+                                      const routecomp::LabeledNetwork& net,
+                                      topology::NodeId origin_p,
+                                      algebra::Attr p_attr,
+                                      topology::NodeId origin_q,
+                                      algebra::Attr q_attr,
+                                      const std::vector<char>* deployed = nullptr,
+                                      int max_iterations = 100);
+
+}  // namespace dragon::core

@@ -1,0 +1,272 @@
+#include <algorithm>
+
+#include "dragon/deaggregation.hpp"
+#include "util/log.hpp"
+#include "engine/dragon_hooks.hpp"
+
+namespace dragon::engine {
+
+using algebra::Attr;
+using algebra::kUnreachable;
+using topology::NodeId;
+using Prefix = prefix::Prefix;
+
+std::optional<Prefix> Simulator::effective_parent(const NodeState& node,
+                                                  const Prefix& q) const {
+  // The parent of q as known locally (§3.6): the most specific
+  // less-specific prefix for which the node currently elects a route.
+  std::optional<Prefix> pp = node.known.parent_of(q);
+  while (pp) {
+    const RouteEntry* entry = node.find(*pp);
+    if (entry != nullptr && entry->elected != kUnreachable) return pp;
+    pp = node.known.parent_of(*pp);
+  }
+  return std::nullopt;
+}
+
+void Simulator::dragon_react(NodeId u, const Prefix& p) {
+  NodeState& node = nodes_[u];
+
+  // Code CR for p itself and for every known prefix underneath it (their
+  // local parent may be p); prefix-trees are small, so a subtree sweep is
+  // cheap.
+  dragon_update_cr(u, p);
+  std::vector<Prefix> below;
+  node.known.visit_subtree(p, [&](const Prefix& q) {
+    if (q != p) below.push_back(q);
+  });
+  for (const Prefix& q : below) dragon_update_cr(u, q);
+
+  // Rule RA at this node's originations whose root covers p.
+  for (auto& rec : originations_) {
+    if (rec.origin == u && rec.root.covers(p)) dragon_check_ra(rec);
+  }
+
+  // Self-organised aggregation originations watching a root that covers p.
+  if (config_.enable_reaggregation) {
+    // Copy: reelect_and_react recursion may not mutate the watch list, but
+    // keep iteration independent of callee behaviour.
+    const auto watches = agg_watch_;
+    for (const auto& [root, attr] : watches) {
+      if (root.covers(p)) dragon_check_reaggregation(u, root, attr);
+    }
+  }
+}
+
+void Simulator::dragon_update_cr(NodeId u, const Prefix& q) {
+  NodeState& node = nodes_[u];
+  RouteEntry& entry = node.route(q);
+  bool filter = false;
+  const bool own_active = entry.originated && !entry.origin_paused;
+  if (!own_active && entry.elected != kUnreachable) {
+    if (const auto parent = effective_parent(node, q)) {
+      const RouteEntry* pe = node.find(*parent);
+      const bool origin_of_p = pe->originated && !pe->origin_paused;
+      if (!origin_of_p) {
+        // Filter iff the q-route's L-attribute equals or is less preferred
+        // than the p-route's (code CR on L-attributes; §3.1, §3.5).
+        filter = project(entry.elected) >= project(pe->elected);
+      }
+    }
+  }
+  if (filter != entry.filtered) {
+    entry.filtered = filter;
+    mark_pending(u, q);
+  }
+}
+
+void Simulator::dragon_check_ra(OriginationRecord& rec) {
+  NodeState& node = nodes_[rec.origin];
+  RouteEntry& root_entry = node.route(rec.root);
+  if (!root_entry.originated) return;  // origination withdrawn meanwhile
+
+  // Rule RA at the origin of a block has a three-way outcome:
+  //   * every more-specific is elected at least as preferred as the
+  //     assigned attribute -> announce normally;
+  //   * some more-specific is elected with a *worse* attribute -> downgrade
+  //     the announcement to that attribute (§3.9: u4 elects a provider
+  //     p1-route, so it "announces p with a provider route");
+  //   * a *delegated* more-specific has no route at all -> the origin would
+  //     be a black hole for it, so de-aggregate around it (§3.8).
+  // Stale un-elected entries for non-delegated prefixes do not count, so
+  // retired de-aggregation fragments never re-trigger.
+  // Classify the more-specifics.  Entries this node itself actively
+  // originates (its own TE children or de-aggregation fragments) are
+  // self-covered and are skipped: without AS-path loop detection, their
+  // learned candidates may be echoes of our own announcements, and acting
+  // on echoes oscillates (announce -> echo back -> "independently
+  // reachable" -> withdraw -> echo gone -> re-announce ...).
+  Attr worst_attr = rec.attr;
+  std::vector<Prefix> reachable;   // more-specifics routed by others
+  std::vector<Prefix> violating;   // ... elected worse than the assignment
+  node.known.visit_subtree(rec.root, [&](const Prefix& q) {
+    if (q == rec.root) return;
+    const RouteEntry* qe = node.find(q);
+    if (qe == nullptr || qe->elected == kUnreachable) return;
+    if (qe->originated && !qe->origin_paused) return;  // self-covered
+    reachable.push_back(q);
+    if (project(qe->elected) > project(rec.attr)) {
+      violating.push_back(q);
+      if (project(qe->elected) > project(worst_attr)) {
+        worst_attr = qe->elected;
+      }
+    }
+  });
+  std::vector<Prefix> lost;
+  for (const Prefix& q : rec.delegated) {
+    const RouteEntry* qe = node.find(q);
+    if (qe != nullptr && qe->elected == kUnreachable) lost.push_back(q);
+  }
+
+  // A §3.9 downgrade is RA-compliant only when the reachable more-specifics
+  // fully tile the root: no address then depends on the root announcement,
+  // so shrinking its export scope loses nothing.  Otherwise the origin must
+  // de-aggregate, keeping root-minus-violating reachable with the assigned
+  // attribute.
+  const bool tiled =
+      !reachable.empty() &&
+      core::deaggregate_excluding(rec.root, reachable).empty();
+  if (!violating.empty() && (!lost.empty() || !tiled)) {
+    for (const Prefix& q : lost) {
+      if (std::find(violating.begin(), violating.end(), q) ==
+          violating.end()) {
+        violating.push_back(q);
+      }
+    }
+    lost = std::move(violating);
+  } else if (!lost.empty()) {
+    // keep `lost` as the de-aggregation driver
+  }
+
+  if (!lost.empty()) {
+    // De-aggregate (§3.8): withdraw the root, announce the tiling of the
+    // root minus the lost prefixes with the assigned attribute.
+    auto fragments = core::deaggregate_excluding(rec.root, lost);
+    if (rec.deaggregated && fragments == rec.fragments) return;
+    const auto old_fragments = std::move(rec.fragments);
+    rec.fragments = std::move(fragments);
+    if (!rec.deaggregated) {
+      rec.deaggregated = true;
+      ++stats_.deaggregations;
+      root_entry.origin_paused = true;
+      reelect_and_react(rec.origin, rec.root);
+    }
+    for (const Prefix& f : rec.fragments) {
+      RouteEntry& fe = node.route(f);
+      if (fe.originated && fe.origin_attr == rec.attr) continue;
+      fe.originated = true;
+      fe.origin_attr = rec.attr;
+      fe.origin_paused = false;
+      reelect_and_react(rec.origin, f);
+    }
+    for (const Prefix& f : old_fragments) {
+      if (std::find(rec.fragments.begin(), rec.fragments.end(), f) !=
+          rec.fragments.end()) {
+        continue;
+      }
+      RouteEntry& fe = node.route(f);
+      fe.originated = false;
+      fe.origin_attr = kUnreachable;
+      reelect_and_react(rec.origin, f);
+    }
+    return;
+  }
+
+  if (rec.deaggregated) {
+    // The lost prefixes are routable again: restore the root.
+    ++stats_.reaggregations;
+    rec.deaggregated = false;
+    const auto old_fragments = std::move(rec.fragments);
+    rec.fragments.clear();
+    root_entry.origin_paused = false;
+    for (const Prefix& f : old_fragments) {
+      RouteEntry& fe = node.route(f);
+      fe.originated = false;
+      fe.origin_attr = kUnreachable;
+      reelect_and_react(rec.origin, f);
+    }
+  }
+
+  // Announce with the RA-compliant attribute: possibly a §3.9 downgrade,
+  // or a recovery back to the assigned attribute.
+  if (root_entry.origin_attr != worst_attr) {
+    if (project(worst_attr) > project(rec.attr) &&
+        project(rec.effective_attr) <= project(rec.attr)) {
+      ++stats_.downgrades;
+    }
+    rec.effective_attr = worst_attr;
+    root_entry.origin_attr = worst_attr;
+    reelect_and_react(rec.origin, rec.root);
+  }
+}
+
+void Simulator::dragon_check_reaggregation(NodeId u, const Prefix& root,
+                                           Attr attr) {
+  // The assigned origin of the root manages it through rule RA instead.
+  for (const auto& rec : originations_) {
+    if (rec.origin == u && rec.root == root) return;
+  }
+  NodeState& node = nodes_[u];
+  RouteEntry& entry = node.route(root);
+
+  // Pieces: known prefixes under the root elected with an attribute at
+  // least as preferred as the origination attribute.  Any worse-elected
+  // more-specific would break rule RA for the origination, so it vetoes.
+  std::vector<Prefix> pieces;
+  bool veto = false;
+  node.known.visit_subtree(root, [&](const Prefix& q) {
+    if (q == root) return;
+    const RouteEntry* qe = node.find(q);
+    if (qe == nullptr || qe->elected == kUnreachable) return;
+    if (project(qe->elected) <= project(attr)) {
+      pieces.push_back(q);
+    } else {
+      veto = true;
+    }
+  });
+
+  bool should = !veto && !pieces.empty() &&
+                core::deaggregate_excluding(root, pieces).empty();
+  if (should) {
+    // Fig. 6 stop rule: an equally-preferred learned route for the root
+    // makes the origination redundant.
+    for (const auto& [neighbor, cand] : entry.rib_in) {
+      (void)neighbor;
+      if (project(cand) <= project(attr)) {
+        should = false;
+        break;
+      }
+    }
+  }
+
+  if (should && !entry.originated) {
+    DRAGON_LOG_DEBUG("t=%.6f node %u ORIGINATE %s (pieces=%zu rib=%zu)",
+                     queue_.now(), u, root.to_bit_string().c_str(),
+                     pieces.size(), entry.rib_in.size());
+    entry.originated = true;
+    entry.origin_reagg = true;
+    entry.origin_attr = attr;
+    entry.origin_paused = false;
+    ++stats_.agg_originations;
+    reelect_and_react(u, root);
+  } else if (!should && entry.originated && entry.origin_reagg) {
+    const auto missing = core::deaggregate_excluding(root, pieces);
+    bool learned_eq = false;
+    for (const auto& [nb, cand] : entry.rib_in) {
+      if (project(cand) <= project(attr)) learned_eq = true;
+      (void)nb;
+    }
+    DRAGON_LOG_DEBUG(
+        "t=%.6f node %u STOP %s (veto=%d pieces=%zu learned_eq=%d "
+        "missing0=%s)",
+        queue_.now(), u, root.to_bit_string().c_str(), (int)veto,
+        pieces.size(), (int)learned_eq,
+        missing.empty() ? "-" : missing.front().to_bit_string().c_str());
+    entry.originated = false;
+    entry.origin_reagg = false;
+    entry.origin_attr = kUnreachable;
+    reelect_and_react(u, root);
+  }
+}
+
+}  // namespace dragon::engine

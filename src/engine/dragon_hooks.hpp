@@ -1,0 +1,7 @@
+// Internal marker header: the DRAGON control-loop hooks are methods of
+// engine::Simulator implemented in dragon_hooks.cpp (code CR filtering,
+// rule RA monitoring with de-/re-aggregation, and self-organised
+// aggregation-prefix origination).  See simulator.hpp for the interface.
+#pragma once
+
+#include "engine/simulator.hpp"

@@ -1,0 +1,33 @@
+#include "engine/event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dragon::engine {
+
+void EventQueue::schedule(Time t, Callback fn) {
+  heap_.push(Item{std::max(t, now_), seq_++, std::move(fn)});
+}
+
+void EventQueue::run_next() {
+  // Move the callback out before popping so it may schedule new events.
+  Callback fn = std::move(const_cast<Item&>(heap_.top()).fn);
+  now_ = heap_.top().t;
+  heap_.pop();
+  fn();
+}
+
+std::size_t EventQueue::run_until(Time max_time) {
+  std::size_t count = 0;
+  while (!heap_.empty() && heap_.top().t <= max_time) {
+    run_next();
+    ++count;
+  }
+  return count;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace dragon::engine

@@ -1,0 +1,36 @@
+#include "engine/node.hpp"
+
+namespace dragon::engine {
+
+using algebra::Attr;
+using algebra::kUnreachable;
+
+Attr NodeState::elect(const algebra::Algebra& alg, const prefix::Prefix& p) {
+  RouteEntry& entry = route(p);
+  Attr best = kUnreachable;
+  if (entry.originated && !entry.origin_paused) best = entry.origin_attr;
+  for (const auto& [neighbor, attr] : entry.rib_in) {
+    if (alg.prefer(attr, best)) best = attr;
+  }
+  entry.elected = best;
+  return best;
+}
+
+const RouteEntry* NodeState::find(const prefix::Prefix& p) const {
+  auto it = routes.find(p);
+  return it == routes.end() ? nullptr : &it->second;
+}
+
+RouteEntry& NodeState::route(const prefix::Prefix& p) {
+  auto [it, fresh] = routes.try_emplace(p);
+  if (fresh) known.insert(p);
+  return it->second;
+}
+
+bool NodeState::fib_active(const prefix::Prefix& p) const {
+  const RouteEntry* entry = find(p);
+  return entry != nullptr && entry->elected != kUnreachable &&
+         !entry->filtered;
+}
+
+}  // namespace dragon::engine

@@ -1,0 +1,73 @@
+// Per-node protocol state for the event-driven engine.
+//
+// Each node keeps, per prefix, the candidate attribute learned from every
+// neighbour (Adj-RIB-In, already import-processed), the elected attribute,
+// origination state, and the DRAGON filtering flag.  Per neighbour it keeps
+// the Adj-RIB-Out (last advertised attribute) and the MRAI pacing state.
+// Election logic lives here; messaging and timers live in the Simulator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "algebra/algebra.hpp"
+#include "prefix/prefix.hpp"
+#include "prefix/prefix_trie.hpp"
+#include "topology/graph.hpp"
+
+namespace dragon::engine {
+
+struct RouteEntry {
+  /// Candidate attribute per neighbour (import policy already applied).
+  std::map<topology::NodeId, algebra::Attr> rib_in;
+  algebra::Attr elected = algebra::kUnreachable;
+  /// DRAGON code CR decision: elected but not installed/announced.
+  bool filtered = false;
+  /// This node originates the prefix (assigned, de-aggregate, or
+  /// aggregation origination).
+  bool originated = false;
+  algebra::Attr origin_attr = algebra::kUnreachable;
+  /// RA de-aggregation (§3.8) pauses the root origination while the
+  /// fragments are announced; `origin_paused` keeps the intent without the
+  /// announcement.
+  bool origin_paused = false;
+  /// This origination is a §3.7/§3.8 self-organised aggregation (it is
+  /// withdrawn again when the tiling breaks or an equally-preferred route
+  /// for the root is learned, Fig. 6).
+  bool origin_reagg = false;
+};
+
+struct NeighborIo {
+  /// Adj-RIB-Out: what we last advertised, per prefix (absent = withdrawn
+  /// or never announced).
+  std::map<prefix::Prefix, algebra::Attr> sent;
+  /// Prefixes with a (re)advertisement or withdrawal waiting for MRAI.
+  std::set<prefix::Prefix> pending;
+  /// Earliest time the next batch may leave.
+  double mrai_ready = 0.0;
+  /// A flush event is already scheduled at mrai_ready.
+  bool flush_scheduled = false;
+};
+
+struct NodeState {
+  std::map<prefix::Prefix, RouteEntry> routes;
+  /// Prefixes with any state here, for parent queries (DRAGON §3.6).
+  prefix::PrefixSet known;
+  std::unordered_map<topology::NodeId, NeighborIo> io;
+
+  /// Re-elects the prefix from rib_in/origination.  Returns the new
+  /// attribute.  The origin's own route competes with learned candidates
+  /// (relevant for anycast aggregation prefixes).
+  algebra::Attr elect(const algebra::Algebra& alg, const prefix::Prefix& p);
+
+  [[nodiscard]] const RouteEntry* find(const prefix::Prefix& p) const;
+  RouteEntry& route(const prefix::Prefix& p);
+
+  /// Does this node install a forwarding entry for p?
+  [[nodiscard]] bool fib_active(const prefix::Prefix& p) const;
+};
+
+}  // namespace dragon::engine

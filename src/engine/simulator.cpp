@@ -1,0 +1,363 @@
+#include "engine/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace dragon::engine {
+
+using algebra::Attr;
+using algebra::kUnreachable;
+using topology::NodeId;
+using Prefix = prefix::Prefix;
+
+struct Simulator::Snapshot {
+  std::vector<NodeState> nodes;
+  std::unordered_set<std::uint64_t> failed;
+  std::vector<OriginationRecord> originations;
+  std::vector<std::pair<Prefix, Attr>> agg_watch;
+  Stats stats;
+  util::Rng rng;
+};
+
+Simulator::Simulator(const topology::Topology& topo,
+                     const algebra::Algebra& alg, Config config)
+    : topo_(topo),
+      alg_(alg),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      nodes_(topo.node_count()),
+      labels_(topo.node_count()) {
+  std::uint32_t link_counter = 1;
+  for (NodeId u = 0; u < topo.node_count(); ++u) {
+    for (const auto& nb : topo.neighbors(u)) {
+      algebra::LabelId label = topology::gr_label(nb.rel);
+      if (config_.unique_link_labels) {
+        label |= link_counter++ << 2;
+      }
+      labels_[u][nb.id] = label;
+    }
+  }
+}
+
+algebra::LabelId Simulator::label(NodeId learner, NodeId speaker) const {
+  return labels_[learner].at(speaker);
+}
+
+std::uint32_t Simulator::project(Attr a) const {
+  if (a == kUnreachable) return kUnreachable;
+  return config_.l_attr ? config_.l_attr(a) : a;
+}
+
+void Simulator::originate(const Prefix& p, NodeId origin, Attr attr) {
+  RouteEntry& entry = nodes_[origin].route(p);
+  entry.originated = true;
+  entry.origin_attr = attr;
+  entry.origin_paused = false;
+  OriginationRecord rec{p, origin, attr, false, {}, attr, {}};
+  // Cross-link delegations: a registry origination inside another AS's
+  // block is a delegation of that block (and vice versa).
+  for (auto& other : originations_) {
+    if (other.origin != origin && other.root.covers(p) && other.root != p) {
+      other.delegated.push_back(p);
+    }
+    if (other.origin != origin && p.covers(other.root) && other.root != p) {
+      rec.delegated.push_back(other.root);
+    }
+  }
+  originations_.push_back(std::move(rec));
+  if (config_.enable_dragon && config_.enable_reaggregation) {
+    agg_watch_.emplace_back(p, attr);
+  }
+  reelect_and_react(origin, p);
+}
+
+void Simulator::withdraw_origin(const Prefix& p, NodeId origin) {
+  RouteEntry& entry = nodes_[origin].route(p);
+  entry.originated = false;
+  entry.origin_attr = kUnreachable;
+  std::erase_if(originations_, [&](const OriginationRecord& rec) {
+    return rec.root == p && rec.origin == origin;
+  });
+  // The prefix is returned to the registry: it no longer constrains the
+  // covering blocks' rule-RA checks.
+  for (auto& rec : originations_) {
+    std::erase(rec.delegated, p);
+  }
+  reelect_and_react(origin, p);
+}
+
+void Simulator::watch_aggregate(const Prefix& root, Attr attr) {
+  if (!config_.enable_dragon || !config_.enable_reaggregation) return;
+  agg_watch_.emplace_back(root, attr);
+  for (NodeId u = 0; u < topo_.node_count(); ++u) {
+    dragon_check_reaggregation(u, root, attr);
+  }
+}
+
+void Simulator::fail_link(NodeId a, NodeId b) {
+  if (!failed_.insert(link_key(a, b)).second) return;
+  // Session reset: both sides drop what they learned from and advertised to
+  // the other.
+  for (NodeId u : {a, b}) {
+    const NodeId v = (u == a) ? b : a;
+    NodeState& node = nodes_[u];
+    auto io = node.io.find(v);
+    if (io != node.io.end()) {
+      io->second.sent.clear();
+      io->second.pending.clear();
+    }
+    std::vector<Prefix> lost;
+    for (auto& [p, entry] : node.routes) {
+      if (entry.rib_in.erase(v) > 0) lost.push_back(p);
+    }
+    for (const Prefix& p : lost) reelect_and_react(u, p);
+  }
+}
+
+void Simulator::restore_link(NodeId a, NodeId b) {
+  if (failed_.erase(link_key(a, b)) == 0) return;
+  // Session re-establishment: full table re-advertisement both ways.
+  for (NodeId u : {a, b}) {
+    const NodeId v = (u == a) ? b : a;
+    for (const auto& [p, entry] : nodes_[u].routes) {
+      (void)entry;
+      nodes_[u].io[v].pending.insert(p);
+    }
+    try_flush(u, v);
+  }
+}
+
+std::size_t Simulator::run_until_quiescent(Time max_time) {
+  return queue_.run_until(max_time);
+}
+
+Attr Simulator::elected(NodeId u, const Prefix& p) const {
+  const RouteEntry* entry = nodes_[u].find(p);
+  return entry ? entry->elected : kUnreachable;
+}
+
+bool Simulator::filtered(NodeId u, const Prefix& p) const {
+  const RouteEntry* entry = nodes_[u].find(p);
+  return entry != nullptr && entry->filtered;
+}
+
+bool Simulator::fib_active(NodeId u, const Prefix& p) const {
+  return nodes_[u].fib_active(p);
+}
+
+std::size_t Simulator::fib_size(NodeId u) const {
+  std::size_t count = 0;
+  for (const auto& [p, entry] : nodes_[u].routes) {
+    if (entry.elected != kUnreachable && !entry.filtered) ++count;
+  }
+  return count;
+}
+
+bool Simulator::originates(NodeId u, const Prefix& p) const {
+  const RouteEntry* entry = nodes_[u].find(p);
+  return entry != nullptr && entry->originated && !entry->origin_paused;
+}
+
+Simulator::TraceResult Simulator::trace(NodeId from,
+                                        prefix::Address dst) const {
+  TraceResult result{Outcome::kDelivered, {from}};
+  std::unordered_set<NodeId> visited{from};
+  NodeId u = from;
+  for (;;) {
+    // Longest prefix match over u's installed entries.
+    const NodeState& node = nodes_[u];
+    std::optional<Prefix> best;
+    Attr best_attr = kUnreachable;
+    for (const auto& [p, e] : node.routes) {
+      if (!node.fib_active(p) || !p.contains(dst)) continue;
+      if (!best || p.length() > best->length()) {
+        best = p;
+        best_attr = e.elected;
+      }
+    }
+    if (!best) {
+      result.outcome = Outcome::kBlackHole;
+      return result;
+    }
+    const RouteEntry& entry = *node.find(*best);
+    if (entry.originated && !entry.origin_paused) {
+      result.outcome = Outcome::kDelivered;
+      return result;
+    }
+    // Deterministic forwarding neighbour: lowest id whose candidate equals
+    // the elected attribute.
+    NodeId next = 0;
+    bool found = false;
+    for (const auto& [v, attr] : entry.rib_in) {
+      if (attr == best_attr && link_alive(u, v)) {
+        next = v;
+        found = true;
+        break;  // rib_in is an ordered map: lowest id first
+      }
+    }
+    if (!found) {
+      result.outcome = Outcome::kBlackHole;
+      return result;
+    }
+    if (!visited.insert(next).second) {
+      result.path.push_back(next);
+      result.outcome = Outcome::kLoop;
+      return result;
+    }
+    result.path.push_back(next);
+    u = next;
+  }
+}
+
+std::vector<std::pair<topology::NodeId, topology::NodeId>>
+Simulator::forwarding_links() const {
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
+    for (const auto& [p, entry] : nodes_[u].routes) {
+      if (!nodes_[u].fib_active(p)) continue;
+      for (const auto& [v, attr] : entry.rib_in) {
+        if (attr != entry.elected || !link_alive(u, v)) continue;
+        if (seen.insert(link_key(u, v)).second) out.emplace_back(u, v);
+      }
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<const Simulator::Snapshot> Simulator::snapshot() const {
+  assert(queue_.empty() && "snapshot requires a quiescent simulator");
+  auto snap = std::make_shared<Snapshot>();
+  snap->nodes = nodes_;
+  snap->failed = failed_;
+  snap->originations = originations_;
+  snap->agg_watch = agg_watch_;
+  snap->stats = stats_;
+  snap->rng = rng_;
+  return snap;
+}
+
+void Simulator::restore(const std::shared_ptr<const Snapshot>& snap) {
+  restore(*snap);
+}
+
+void Simulator::restore(const Snapshot& snap) {
+  assert(queue_.empty() && "restore requires a quiescent simulator");
+  nodes_ = snap.nodes;
+  failed_ = snap.failed;
+  originations_ = snap.originations;
+  agg_watch_ = snap.agg_watch;
+  stats_ = snap.stats;
+  rng_ = snap.rng;
+}
+
+void Simulator::deliver(NodeId to, NodeId from, const Prefix& p,
+                        std::optional<Attr> wire) {
+  if (!link_alive(to, from)) return;  // failed while in flight
+  RouteEntry& entry = nodes_[to].route(p);
+  if (wire) {
+    const Attr imported = alg_.extend(label(to, from), *wire);
+    if (imported == kUnreachable) {
+      entry.rib_in.erase(from);
+    } else {
+      entry.rib_in[from] = imported;
+    }
+  } else {
+    entry.rib_in.erase(from);
+  }
+  reelect_and_react(to, p);
+}
+
+void Simulator::reelect_and_react(NodeId u, const Prefix& p) {
+  NodeState& node = nodes_[u];
+  RouteEntry& entry = node.route(p);
+  const Attr before = entry.elected;
+  const bool filtered_before = entry.filtered;
+  node.elect(alg_, p);
+
+  if (config_.enable_dragon) {
+    dragon_react(u, p);
+  }
+
+  if (entry.elected != before || entry.filtered != filtered_before) {
+    DRAGON_LOG_DEBUG("t=%.6f node %u %s elected %x->%x filtered %d->%d",
+                     queue_.now(), u, p.to_bit_string().c_str(), before,
+                     entry.elected, (int)filtered_before,
+                     (int)entry.filtered);
+    mark_pending(u, p);
+  }
+}
+
+void Simulator::mark_pending(NodeId u, const Prefix& p) {
+  for (const auto& nb : topo_.neighbors(u)) {
+    if (!link_alive(u, nb.id)) continue;
+    nodes_[u].io[nb.id].pending.insert(p);
+    try_flush(u, nb.id);
+  }
+}
+
+void Simulator::try_flush(NodeId u, NodeId v) {
+  NeighborIo& io = nodes_[u].io[v];
+  if (io.pending.empty()) return;
+  if (queue_.now() >= io.mrai_ready) {
+    flush_now(u, v);
+    return;
+  }
+  if (!io.flush_scheduled) {
+    io.flush_scheduled = true;
+    queue_.schedule(io.mrai_ready, [this, u, v] {
+      nodes_[u].io[v].flush_scheduled = false;
+      if (!nodes_[u].io[v].pending.empty()) flush_now(u, v);
+    });
+  }
+}
+
+void Simulator::flush_now(NodeId u, NodeId v) {
+  NodeState& node = nodes_[u];
+  NeighborIo& io = node.io[v];
+  bool sent_any = false;
+  for (const Prefix& p : io.pending) {
+    if (!link_alive(u, v)) break;
+    const RouteEntry* entry = node.find(p);
+    bool exporting = entry != nullptr && entry->elected != kUnreachable &&
+                     !entry->filtered;
+    if (exporting &&
+        alg_.extend(label(v, u), entry->elected) == kUnreachable) {
+      exporting = false;  // export policy drops it; nothing on the wire
+    }
+    auto sent_it = io.sent.find(p);
+    if (exporting) {
+      if (sent_it == io.sent.end() || sent_it->second != entry->elected) {
+        io.sent[p] = entry->elected;
+        send(u, v, p, entry->elected);
+        sent_any = true;
+      }
+    } else if (sent_it != io.sent.end()) {
+      io.sent.erase(sent_it);
+      send(u, v, p, std::nullopt);
+      sent_any = true;
+    }
+  }
+  io.pending.clear();
+  if (sent_any) {
+    const double jitter = config_.mrai_jitter * rng_.uniform();
+    io.mrai_ready = queue_.now() + config_.mrai * (1.0 - jitter);
+  }
+}
+
+void Simulator::send(NodeId from, NodeId to, const Prefix& p,
+                     std::optional<Attr> wire) {
+  if (wire) {
+    ++stats_.announcements;
+  } else {
+    ++stats_.withdrawals;
+  }
+  const double jitter =
+      1.0 + config_.link_delay_jitter * (2.0 * rng_.uniform() - 1.0);
+  const Time at = queue_.now() + config_.link_delay * jitter;
+  queue_.schedule(at, [this, from, to, p, wire] { deliver(to, from, p, wire); });
+}
+
+}  // namespace dragon::engine

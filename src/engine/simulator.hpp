@@ -1,0 +1,212 @@
+// Event-driven BGP-like simulator with DRAGON in the control loop — the
+// role SimBGP plays in the paper's §5.3 convergence study.
+//
+// The engine models:
+//   * per-prefix announce/withdraw message passing with link delays;
+//   * per-peer MRAI pacing (default 30 s, jittered per session);
+//   * the full decision process of an arbitrary routing algebra;
+//   * session resets on link failure/restoration;
+// and, when DRAGON is enabled:
+//   * code CR filtering against the locally-known parent prefix (§3.1,
+//     §3.6) — filtered prefixes stay in the RIB but leave the FIB and are
+//     withdrawn from neighbours;
+//   * rule RA monitoring at origins with automatic de-aggregation and
+//     re-aggregation (§3.8);
+//   * self-organising aggregation-prefix origination: a node electing
+//     routes at least as preferred as the origination attribute for a set
+//     of prefixes tiling a watched root originates the root, and pauses
+//     when it learns an equally-preferred route for it (Figs. 5-6, §3.7).
+//
+// CR and RA compare *L-attributes*: the Config's l_attr projection maps an
+// attribute to the value that takes precedence in election (the GR class
+// when running GrPathAlgebra), implementing the paper's X = infinity
+// evaluation setting where AS-path lengths do not block filtering (§3.5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "algebra/algebra.hpp"
+#include "engine/event_queue.hpp"
+#include "engine/node.hpp"
+#include "prefix/prefix.hpp"
+#include "topology/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dragon::engine {
+
+struct Config {
+  /// MRAI per peering session: uniform in [mrai*(1-jitter), mrai].
+  double mrai = 30.0;
+  double mrai_jitter = 0.25;
+  /// One-way message delay: uniform in [d*(1-jitter), d*(1+jitter)].
+  double link_delay = 0.01;
+  double link_delay_jitter = 0.5;
+  bool enable_dragon = false;
+  /// §3.8 self-organising (re-)origination of watched aggregation roots.
+  bool enable_reaggregation = true;
+  /// Give every directed link a unique label id (link_id << 2 | GR label)
+  /// for path-identity algebras such as GrPathVectorAlgebra, which model
+  /// BGP's AS-PATH content changes (path exploration).  Plain GR-family
+  /// algebras only read the low two bits, so this is compatible with them.
+  bool unique_link_labels = false;
+  /// L-attribute projection used by CR/RA (smaller = preferred).  Defaults
+  /// to the identity (whole-attribute comparison).
+  std::function<std::uint32_t(algebra::Attr)> l_attr;
+  std::uint64_t seed = 7;
+};
+
+struct Stats {
+  std::uint64_t announcements = 0;
+  std::uint64_t withdrawals = 0;
+  std::uint64_t deaggregations = 0;    // RA-forced de-aggregation events
+  std::uint64_t reaggregations = 0;    // origins restoring the aggregate
+  std::uint64_t downgrades = 0;        // RA-forced announcement downgrades (§3.9)
+  std::uint64_t agg_originations = 0;  // §3.7 self-organised originations
+
+  [[nodiscard]] std::uint64_t updates() const {
+    return announcements + withdrawals;
+  }
+};
+
+class Simulator {
+ public:
+  using NodeId = topology::NodeId;
+  using Prefix = prefix::Prefix;
+  using Attr = algebra::Attr;
+
+  /// The topology provides adjacency and GR labels; links can fail and
+  /// recover at runtime.  `topo` and `alg` must outlive the simulator.
+  Simulator(const topology::Topology& topo, const algebra::Algebra& alg,
+            Config config);
+
+  /// Injects an origination (assigned prefix).  The prefix is also watched
+  /// for §3.8 re-aggregation when that feature is on.
+  void originate(const Prefix& p, NodeId origin, Attr attr);
+
+  /// Removes an origination (prefix returned to the registry).
+  void withdraw_origin(const Prefix& p, NodeId origin);
+
+  /// Registers a root for §3.7 self-organised aggregation without anyone
+  /// being assigned it: any node electing routes at least as preferred as
+  /// `attr` for a tiling of `root` may originate it (Figs. 5-6).  No-op
+  /// unless DRAGON and re-aggregation are enabled.
+  void watch_aggregate(const Prefix& root, Attr attr);
+
+  /// Fails / restores the link between a and b (sessions reset).
+  void fail_link(NodeId a, NodeId b);
+  void restore_link(NodeId a, NodeId b);
+
+  /// Drains the event queue (or stops at max_time).  Returns the number of
+  /// events processed.
+  std::size_t run_until_quiescent(Time max_time = 1e7);
+
+  [[nodiscard]] Time now() const { return queue_.now(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+  // --- State introspection -------------------------------------------------
+
+  [[nodiscard]] Attr elected(NodeId u, const Prefix& p) const;
+  [[nodiscard]] bool filtered(NodeId u, const Prefix& p) const;
+  [[nodiscard]] bool fib_active(NodeId u, const Prefix& p) const;
+  /// Number of installed forwarding entries at u.
+  [[nodiscard]] std::size_t fib_size(NodeId u) const;
+  /// Does u currently originate p (actively announcing)?
+  [[nodiscard]] bool originates(NodeId u, const Prefix& p) const;
+
+  enum class Outcome { kDelivered, kBlackHole, kLoop };
+  struct TraceResult {
+    Outcome outcome;
+    std::vector<NodeId> path;
+  };
+  /// Forwards a packet for `dst` hop by hop through the current FIBs
+  /// (deterministic lowest-id choice among equal next hops) until it
+  /// reaches a node originating the matched prefix.
+  [[nodiscard]] TraceResult trace(NodeId from, prefix::Address dst) const;
+
+  /// Links currently carrying at least one prefix's traffic: undirected
+  /// pairs (u, v) where v is a forwarding neighbour of u for some prefix
+  /// with an installed entry.  Used by the convergence study to sample
+  /// failures that actually affect routing.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> forwarding_links()
+      const;
+
+  // --- Snapshot / restore (for repeated failure trials) ---------------------
+
+  struct Snapshot;
+  [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const;
+  void restore(const Snapshot& snap);
+  void restore(const std::shared_ptr<const Snapshot>& snap);
+
+ private:
+  friend struct SimulatorHooks;
+
+  struct OriginationRecord {
+    Prefix root;
+    NodeId origin;
+    Attr attr;
+    bool deaggregated = false;
+    std::vector<Prefix> fragments;
+    /// Attribute the origin currently announces the root with.  Rule RA can
+    /// be satisfied by downgrading the announcement (§3.9: u4 "announces p
+    /// with a provider route") when a more-specific is elected with a less
+    /// preferred attribute; de-aggregation is reserved for delegated
+    /// prefixes whose route is lost outright (§3.8).
+    Attr effective_attr;
+    /// More-specific prefixes assigned out of this block to other ASs
+    /// (inferred from other originate() calls).  Rule RA treats the loss of
+    /// a delegated prefix's route as a violation (§3.8: u4 assigned q to
+    /// u6, so losing the customer q-route forces de-aggregation).
+    std::vector<Prefix> delegated;
+  };
+
+  [[nodiscard]] static std::uint64_t link_key(NodeId a, NodeId b) {
+    const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+    const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+    return (hi << 32) | lo;
+  }
+  [[nodiscard]] bool link_alive(NodeId a, NodeId b) const {
+    return !failed_.contains(link_key(a, b));
+  }
+  [[nodiscard]] algebra::LabelId label(NodeId learner, NodeId speaker) const;
+  [[nodiscard]] std::uint32_t project(Attr a) const;
+
+  void deliver(NodeId to, NodeId from, const Prefix& p,
+               std::optional<Attr> wire);
+  /// Re-elects p at u, runs DRAGON hooks, and schedules updates for every
+  /// prefix whose externally visible state may have changed.
+  void reelect_and_react(NodeId u, const Prefix& p);
+  void mark_pending(NodeId u, const Prefix& p);
+  void try_flush(NodeId u, NodeId v);
+  void flush_now(NodeId u, NodeId v);
+  void send(NodeId from, NodeId to, const Prefix& p, std::optional<Attr> wire);
+
+  // DRAGON hooks (engine/dragon_hooks.cpp).
+  void dragon_react(NodeId u, const Prefix& p);
+  void dragon_update_cr(NodeId u, const Prefix& q);
+  void dragon_check_ra(OriginationRecord& rec);
+  void dragon_check_reaggregation(NodeId u, const Prefix& root, Attr attr);
+  [[nodiscard]] std::optional<Prefix> effective_parent(const NodeState& node,
+                                                       const Prefix& q) const;
+
+  const topology::Topology& topo_;
+  const algebra::Algebra& alg_;
+  Config config_;
+  EventQueue queue_;
+  util::Rng rng_;
+  std::vector<NodeState> nodes_;
+  std::vector<std::unordered_map<NodeId, algebra::LabelId>> labels_;
+  std::unordered_set<std::uint64_t> failed_;
+  std::vector<OriginationRecord> originations_;
+  /// Roots watched for §3.7/§3.8 self-organised origination.
+  std::vector<std::pair<Prefix, Attr>> agg_watch_;
+  Stats stats_;
+};
+
+}  // namespace dragon::engine

@@ -1,0 +1,48 @@
+#include "fibcomp/fib.hpp"
+
+#include <algorithm>
+
+namespace dragon::fibcomp {
+
+using prefix::Address;
+using prefix::Prefix;
+
+NextHop lookup(const prefix::PrefixTrie<NextHop>& trie, Address addr) {
+  const auto hit = trie.lookup(addr);
+  return hit ? *hit->second : kDrop;
+}
+
+prefix::PrefixTrie<NextHop> build_trie(const Fib& fib) {
+  prefix::PrefixTrie<NextHop> trie;
+  for (const FibEntry& e : fib) trie.insert(e.prefix, e.next_hop);
+  return trie;
+}
+
+bool forwarding_equivalent(const Fib& a, const Fib& b) {
+  const auto trie_a = build_trie(a);
+  const auto trie_b = build_trie(b);
+
+  // The LPM function changes value only at prefix range boundaries.
+  std::vector<Address> points;
+  points.reserve(2 * (a.size() + b.size()) + 1);
+  auto add_boundaries = [&points](const Fib& fib) {
+    for (const FibEntry& e : fib) {
+      points.push_back(e.prefix.first_address());
+      const std::uint64_t after = e.prefix.first_address() + e.prefix.size();
+      if (after <= 0xFFFFFFFFull) {
+        points.push_back(static_cast<Address>(after));
+      }
+    }
+  };
+  add_boundaries(a);
+  add_boundaries(b);
+  points.push_back(0);
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  return std::all_of(points.begin(), points.end(), [&](Address addr) {
+    return lookup(trie_a, addr) == lookup(trie_b, addr);
+  });
+}
+
+}  // namespace dragon::fibcomp

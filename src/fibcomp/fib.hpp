@@ -1,0 +1,43 @@
+// Forwarding tables (FIBs) and their semantics, for the FIB-compression
+// baseline of §5.2.
+//
+// A FIB maps prefixes to a next hop.  Lookup is longest prefix match; an
+// address matching no entry is dropped (kDrop).  kLocal marks prefixes the
+// AS itself originates.  Forwarding equivalence — the invariant every
+// compression scheme must preserve — means equal LPM results over the
+// whole address space, checked exactly on the boundary set of both tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "prefix/prefix.hpp"
+#include "prefix/prefix_trie.hpp"
+
+namespace dragon::fibcomp {
+
+using NextHop = std::uint32_t;
+inline constexpr NextHop kDrop = 0xFFFFFFFFu;
+inline constexpr NextHop kLocal = 0xFFFFFFFEu;
+
+struct FibEntry {
+  prefix::Prefix prefix;
+  NextHop next_hop;
+  friend bool operator==(const FibEntry&, const FibEntry&) = default;
+};
+
+using Fib = std::vector<FibEntry>;
+
+/// LPM lookup; kDrop when no entry matches.
+[[nodiscard]] NextHop lookup(const prefix::PrefixTrie<NextHop>& trie,
+                             prefix::Address addr);
+
+/// Builds the lookup trie of a FIB.
+[[nodiscard]] prefix::PrefixTrie<NextHop> build_trie(const Fib& fib);
+
+/// True if the two FIBs forward every address identically.  Exact: checks
+/// the first address of every prefix appearing in either table plus the
+/// address right after every prefix's range.
+[[nodiscard]] bool forwarding_equivalent(const Fib& a, const Fib& b);
+
+}  // namespace dragon::fibcomp

@@ -1,0 +1,157 @@
+#include "fibcomp/ortc.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <optional>
+
+namespace dragon::fibcomp {
+
+using prefix::Prefix;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Conservative (remove-only) compression.
+// ---------------------------------------------------------------------------
+
+struct CNode {
+  std::optional<NextHop> entry;
+  std::unique_ptr<CNode> child[2];
+};
+
+std::unique_ptr<CNode> build_cnode(const Fib& fib) {
+  auto root = std::make_unique<CNode>();
+  for (const FibEntry& e : fib) {
+    CNode* node = root.get();
+    for (int depth = 0; depth < e.prefix.length(); ++depth) {
+      auto& next = node->child[e.prefix.bit_at(depth)];
+      if (!next) next = std::make_unique<CNode>();
+      node = next.get();
+    }
+    node->entry = e.next_hop;
+  }
+  return root;
+}
+
+/// Drops redundant entries (same next hop as the effective covering entry)
+/// and shadowed entries (range fully covered by kept more-specifics).
+/// Returns whether the node's range is fully matched by kept entries in the
+/// subtree; emits kept entries.
+bool compact_rec(CNode* node, NextHop inherited, const Prefix& at, Fib& out) {
+  const NextHop effective = node->entry ? *node->entry : inherited;
+  const bool left = node->child[0] &&
+                    compact_rec(node->child[0].get(), effective,
+                                at.child(0), out);
+  const bool right = node->child[1] &&
+                     compact_rec(node->child[1].get(), effective,
+                                 at.child(1), out);
+  const bool covered_by_children = left && right;
+  if (!node->entry) return covered_by_children;
+  // Locally originated space is never compressed away: the router needs
+  // the specific entries to deliver its own customers' traffic (DRAGON's
+  // origin-of-p exclusion has the same role).
+  if (*node->entry != kLocal) {
+    if (covered_by_children) return true;       // shadowed: drop
+    if (*node->entry == inherited) return false;  // redundant: drop
+  }
+  out.push_back({at, *node->entry});
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ORTC.
+// ---------------------------------------------------------------------------
+
+/// Candidate next-hop sets are small sorted vectors.
+using HopSet = std::vector<NextHop>;
+
+HopSet merge_sets(const HopSet& a, const HopSet& b) {
+  HopSet inter;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(inter));
+  if (!inter.empty()) return inter;
+  HopSet uni;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(uni));
+  return uni;
+}
+
+bool set_contains(const HopSet& s, NextHop h) {
+  return std::binary_search(s.begin(), s.end(), h);
+}
+
+struct ONode {
+  std::optional<NextHop> entry;
+  HopSet set;
+  std::unique_ptr<ONode> child[2];
+};
+
+/// Passes 1+2 fused: complete the trie (every node 0 or 2 children, missing
+/// children become leaves inheriting the nearest entry) and compute
+/// candidate sets bottom-up.
+void normalize_and_merge(ONode* node, NextHop inherited) {
+  const NextHop effective = node->entry ? *node->entry : inherited;
+  if (!node->child[0] && !node->child[1]) {
+    node->set = {effective};
+    return;
+  }
+  for (int b : {0, 1}) {
+    if (!node->child[b]) node->child[b] = std::make_unique<ONode>();
+    normalize_and_merge(node->child[b].get(), effective);
+  }
+  node->set = merge_sets(node->child[0]->set, node->child[1]->set);
+}
+
+/// Pass 3: top-down selection; emits an entry when the parent's choice is
+/// not in the node's candidate set.  kDrop is the implicit root default, so
+/// a chosen kDrop only materialises as a discard entry below a real hop.
+void select_rec(const ONode* node, NextHop parent_choice, const Prefix& at,
+                Fib& out) {
+  NextHop choice = parent_choice;
+  if (!set_contains(node->set, parent_choice)) {
+    choice = node->set.front();  // deterministic: smallest id
+    out.push_back({at, choice});
+  }
+  if (node->child[0]) {
+    select_rec(node->child[0].get(), choice, at.child(0), out);
+    select_rec(node->child[1].get(), choice, at.child(1), out);
+  }
+}
+
+}  // namespace
+
+Fib compress_conservative(const Fib& input) {
+  // Dropping a shadowed entry can expose fresh redundancy underneath it
+  // (children now inherit from a higher entry with their own next hop), so
+  // iterate the pass to a fixpoint.
+  Fib current = input;
+  for (;;) {
+    auto root = build_cnode(current);
+    Fib out;
+    out.reserve(current.size());
+    compact_rec(root.get(), kDrop, Prefix{}, out);
+    if (out.size() == current.size()) return out;
+    current = std::move(out);
+  }
+}
+
+Fib compress_ortc(const Fib& input) {
+  auto root = std::make_unique<ONode>();
+  for (const FibEntry& e : input) {
+    ONode* node = root.get();
+    for (int depth = 0; depth < e.prefix.length(); ++depth) {
+      auto& next = node->child[e.prefix.bit_at(depth)];
+      if (!next) next = std::make_unique<ONode>();
+      node = next.get();
+    }
+    node->entry = e.next_hop;
+  }
+  normalize_and_merge(root.get(), kDrop);
+  Fib out;
+  out.reserve(input.size());
+  select_rec(root.get(), kDrop, Prefix{}, out);
+  return out;
+}
+
+}  // namespace dragon::fibcomp

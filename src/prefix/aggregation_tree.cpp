@@ -1,0 +1,80 @@
+#include "prefix/aggregation_tree.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace dragon::prefix {
+
+namespace {
+
+struct Node {
+  std::int32_t leaf = -1;  // index of an input prefix ending exactly here
+  bool complete = false;   // subtree exactly tiles this node's address space
+  std::unique_ptr<Node> child[2];
+};
+
+// Pass 1 (bottom-up): a node is complete if it is itself an input prefix or
+// if both children exist and are complete.
+bool mark_complete(Node* node) {
+  if (node->leaf >= 0) {
+    node->complete = true;
+    return true;
+  }
+  bool left = node->child[0] && mark_complete(node->child[0].get());
+  // Evaluate the right side unconditionally so the whole subtree is marked.
+  bool right = node->child[1] && mark_complete(node->child[1].get());
+  node->complete = left && right;
+  return node->complete;
+}
+
+void collect_leaves(const Node* node, std::vector<std::int32_t>& out) {
+  if (node->leaf >= 0) out.push_back(node->leaf);
+  for (int b : {0, 1}) {
+    if (node->child[b]) collect_leaves(node->child[b].get(), out);
+  }
+}
+
+// Pass 2 (top-down): emit maximal complete nodes that strictly cover >= 2
+// input prefixes; below an emitted node there is nothing more to do, and an
+// input prefix itself is never an aggregation candidate.
+void emit_candidates(const Node* node, const Prefix& at,
+                     std::vector<AggregationCandidate>& out) {
+  if (node->complete) {
+    if (node->leaf >= 0) return;  // already an announced prefix
+    AggregationCandidate cand;
+    cand.aggregate = at;
+    collect_leaves(node, cand.covered);
+    assert(cand.covered.size() >= 2);
+    out.push_back(std::move(cand));
+    return;
+  }
+  for (int b : {0, 1}) {
+    if (node->child[b]) emit_candidates(node->child[b].get(), at.child(b), out);
+  }
+}
+
+}  // namespace
+
+std::vector<AggregationCandidate> compute_aggregation_prefixes(
+    std::span<const Prefix> parentless) {
+  Node root;
+  for (std::size_t i = 0; i < parentless.size(); ++i) {
+    const Prefix& p = parentless[i];
+    Node* node = &root;
+    for (int depth = 0; depth < p.length(); ++depth) {
+      auto& next = node->child[p.bit_at(depth)];
+      if (!next) next = std::make_unique<Node>();
+      node = next.get();
+      assert(node->leaf < 0 && "input prefixes must be non-overlapping");
+    }
+    assert(!node->child[0] && !node->child[1] &&
+           "input prefixes must be non-overlapping");
+    node->leaf = static_cast<std::int32_t>(i);
+  }
+  mark_complete(&root);
+  std::vector<AggregationCandidate> out;
+  emit_candidates(&root, Prefix{}, out);
+  return out;
+}
+
+}  // namespace dragon::prefix

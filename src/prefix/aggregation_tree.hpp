@@ -1,0 +1,33 @@
+// Aggregation-prefix discovery (§3.7).
+//
+// Given the set of parentless prefixes known at a node, DRAGON derives the
+// aggregation prefixes it could originate: prefixes that are "as short as
+// possible without introducing new address space".  Equivalently, they are
+// the maximal nodes of the binary trie whose address space is exactly tiled
+// by members of the set and which strictly cover at least two of them.  The
+// paper realises this with a two-pass traversal of the binary tree rooted at
+// the empty prefix; compute_aggregation_prefixes is that algorithm.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "prefix/prefix.hpp"
+
+namespace dragon::prefix {
+
+struct AggregationCandidate {
+  /// The aggregation prefix itself.
+  Prefix aggregate;
+  /// Indices (into the input span) of the parentless prefixes it covers.
+  std::vector<std::int32_t> covered;
+};
+
+/// Computes all maximal aggregation prefixes for a set of parentless
+/// prefixes.  Input prefixes must be non-overlapping (none covers another),
+/// which holds for parentless prefixes by definition.  Candidates never
+/// overlap each other and each covers >= 2 input prefixes.
+[[nodiscard]] std::vector<AggregationCandidate> compute_aggregation_prefixes(
+    std::span<const Prefix> parentless);
+
+}  // namespace dragon::prefix

@@ -1,0 +1,88 @@
+#include "prefix/prefix.hpp"
+
+#include <charconv>
+
+namespace dragon::prefix {
+
+std::optional<Prefix> Prefix::from_bit_string(std::string_view s) {
+  if (s.size() > static_cast<std::size_t>(kAddressBits)) return std::nullopt;
+  Address bits = 0;
+  int length = 0;
+  for (char c : s) {
+    if (c != '0' && c != '1') return std::nullopt;
+    bits |= static_cast<Address>(c - '0') << (kAddressBits - 1 - length);
+    ++length;
+  }
+  return Prefix(bits, length);
+}
+
+std::optional<Prefix> Prefix::from_cidr(std::string_view s) {
+  const auto slash = s.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  std::string_view addr_part = s.substr(0, slash);
+  std::string_view len_part = s.substr(slash + 1);
+
+  Address bits = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    const auto dot = addr_part.find('.');
+    std::string_view field =
+        (octet < 3) ? addr_part.substr(0, dot) : addr_part;
+    if (octet < 3 && dot == std::string_view::npos) return std::nullopt;
+    unsigned value = 0;
+    auto [ptr, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), value);
+    if (ec != std::errc{} || ptr != field.data() + field.size() || value > 255) {
+      return std::nullopt;
+    }
+    bits = (bits << 8) | value;
+    if (octet < 3) addr_part.remove_prefix(dot + 1);
+  }
+
+  int length = -1;
+  auto [ptr, ec] = std::from_chars(len_part.data(),
+                                   len_part.data() + len_part.size(), length);
+  if (ec != std::errc{} || ptr != len_part.data() + len_part.size() ||
+      length < 0 || length > kAddressBits) {
+    return std::nullopt;
+  }
+  return Prefix(bits, length);
+}
+
+std::string Prefix::to_bit_string() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(length_));
+  for (int i = 0; i < length_; ++i) out.push_back(static_cast<char>('0' + bit_at(i)));
+  return out;
+}
+
+std::string Prefix::to_cidr() const {
+  std::string out;
+  for (int octet = 0; octet < 4; ++octet) {
+    out += std::to_string((bits_ >> (24 - 8 * octet)) & 0xFFu);
+    if (octet < 3) out.push_back('.');
+  }
+  out.push_back('/');
+  out += std::to_string(length_);
+  return out;
+}
+
+std::vector<Prefix> complement_within(const Prefix& p, const Prefix& q) {
+  std::vector<Prefix> result;
+  result.reserve(static_cast<std::size_t>(q.length() - p.length()));
+  Prefix walk = p;
+  // Walk from p toward q; at each step descend into the child containing q
+  // and emit the other child, which lies inside p but outside q.
+  while (walk.length() < q.length()) {
+    const int bit = q.bit_at(walk.length());
+    result.push_back(walk.child(1 - bit));
+    walk = walk.child(bit);
+  }
+  return result;
+}
+
+std::optional<Prefix> parse_prefix(std::string_view s) {
+  if (s.find('/') != std::string_view::npos) return Prefix::from_cidr(s);
+  return Prefix::from_bit_string(s);
+}
+
+}  // namespace dragon::prefix

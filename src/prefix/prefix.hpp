@@ -1,0 +1,139 @@
+// Prefixes over a 32-bit (IPv4-like) address space.
+//
+// A Prefix is a left-aligned bit pattern plus a length; it denotes the set
+// of addresses whose first `length` bits match the pattern (§2 of the
+// paper).  Prefix is a regular value type with a total order, usable as a
+// key in ordered and unordered containers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dragon::prefix {
+
+using Address = std::uint32_t;
+
+/// Number of bits in an address.
+inline constexpr int kAddressBits = 32;
+
+class Prefix {
+ public:
+  /// The zero-length prefix covering the whole address space.
+  constexpr Prefix() noexcept : bits_(0), length_(0) {}
+
+  /// Constructs from left-aligned bits and a length in [0, 32].  Bits below
+  /// the prefix length are cleared, so Prefix(x, l) is always canonical.
+  constexpr Prefix(Address bits, int length) noexcept
+      : bits_(mask(length) == 0 ? 0 : (bits & mask(length))), length_(length) {}
+
+  /// Parses a bit-string such as "1010" (the notation used in the paper's
+  /// figures).  Empty string yields the root prefix.  Returns nullopt on any
+  /// character other than '0'/'1' or on length > 32.
+  [[nodiscard]] static std::optional<Prefix> from_bit_string(std::string_view s);
+
+  /// Parses dotted CIDR notation, e.g. "10.32.0.0/12".
+  [[nodiscard]] static std::optional<Prefix> from_cidr(std::string_view s);
+
+  [[nodiscard]] constexpr Address bits() const noexcept { return bits_; }
+  [[nodiscard]] constexpr int length() const noexcept { return length_; }
+
+  /// True if `addr` belongs to this prefix's address set.
+  [[nodiscard]] constexpr bool contains(Address addr) const noexcept {
+    return (addr & mask(length_)) == bits_;
+  }
+
+  /// True if `other`'s address set is contained in ours (other is equal to
+  /// or more specific than this prefix).
+  [[nodiscard]] constexpr bool covers(const Prefix& other) const noexcept {
+    return other.length_ >= length_ && (other.bits_ & mask(length_)) == bits_;
+  }
+
+  /// Strictly more specific than `other` ("q more specific than p", §2).
+  [[nodiscard]] constexpr bool more_specific_than(const Prefix& other) const noexcept {
+    return length_ > other.length_ && other.covers(*this);
+  }
+
+  /// The immediate parent in the binary trie (one bit shorter).  Requires
+  /// length() > 0.
+  [[nodiscard]] constexpr Prefix trie_parent() const noexcept {
+    return Prefix(bits_, length_ - 1);
+  }
+
+  /// Left (bit 0) or right (bit 1) child.  Requires length() < 32.
+  [[nodiscard]] constexpr Prefix child(int bit) const noexcept {
+    const Address b = static_cast<Address>(bit & 1)
+                      << (kAddressBits - 1 - length_);
+    return Prefix(bits_ | b, length_ + 1);
+  }
+
+  /// Sibling under the trie parent.  Requires length() > 0.
+  [[nodiscard]] constexpr Prefix sibling() const noexcept {
+    const Address b = Address{1} << (kAddressBits - length_);
+    return Prefix(bits_ ^ b, length_);
+  }
+
+  /// The bit of this prefix at (0-based) depth i; requires i < length().
+  [[nodiscard]] constexpr int bit_at(int i) const noexcept {
+    return static_cast<int>((bits_ >> (kAddressBits - 1 - i)) & 1u);
+  }
+
+  /// Number of addresses covered, as a 64-bit count (2^(32-length)).
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (kAddressBits - length_);
+  }
+
+  /// Lowest address in the prefix.
+  [[nodiscard]] constexpr Address first_address() const noexcept { return bits_; }
+
+  /// Bit-string rendering ("" for the root), matching the paper's figures.
+  [[nodiscard]] std::string to_bit_string() const;
+
+  /// Dotted CIDR rendering, e.g. "10.32.0.0/12".
+  [[nodiscard]] std::string to_cidr() const;
+
+  friend constexpr bool operator==(const Prefix&, const Prefix&) noexcept = default;
+
+  /// Total order: by bits, then by length.  More-specific prefixes of the
+  /// same block order after shorter ones, which makes in-order iteration of
+  /// a sorted container a pre-order walk of the trie.
+  friend constexpr auto operator<=>(const Prefix& a, const Prefix& b) noexcept {
+    if (auto c = a.bits_ <=> b.bits_; c != 0) return c;
+    return a.length_ <=> b.length_;
+  }
+
+ private:
+  static constexpr Address mask(int length) noexcept {
+    return length == 0 ? 0u : (~Address{0} << (kAddressBits - length));
+  }
+
+  Address bits_;
+  int length_;
+};
+
+/// Partition of `p` minus `q` into maximal prefixes: the siblings hanging
+/// off the trie path from `p` down to `q` (§3.8 de-aggregation: withdrawing
+/// p = 10 with q = 10000 missing yields {10001, 1001, 101}).  Requires q to
+/// be strictly more specific than p.  The result has length(q) - length(p)
+/// prefixes and, together with q, exactly tiles p.
+[[nodiscard]] std::vector<Prefix> complement_within(const Prefix& p, const Prefix& q);
+
+/// Parses either bit-string or CIDR notation (auto-detected).
+[[nodiscard]] std::optional<Prefix> parse_prefix(std::string_view s);
+
+}  // namespace dragon::prefix
+
+template <>
+struct std::hash<dragon::prefix::Prefix> {
+  std::size_t operator()(const dragon::prefix::Prefix& p) const noexcept {
+    // Mix bits and length; bits are already well spread for real prefixes.
+    std::uint64_t x = (std::uint64_t{p.bits()} << 6) ^
+                      static_cast<std::uint64_t>(p.length());
+    x *= 0x9E3779B97F4A7C15ULL;
+    return static_cast<std::size_t>(x ^ (x >> 32));
+  }
+};

@@ -1,0 +1,69 @@
+#include "prefix/prefix_forest.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace dragon::prefix {
+
+PrefixForest::PrefixForest(std::span<const Prefix> prefixes) {
+  const std::size_t n = prefixes.size();
+  parent_.assign(n, kNone);
+  children_.assign(n, {});
+  root_.assign(n, kNone);
+
+  // Sort indices so iteration is a pre-order walk of the binary trie:
+  // by bits, then shorter (covering) prefixes first.
+  std::vector<std::int32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    return prefixes[static_cast<std::size_t>(a)] <
+           prefixes[static_cast<std::size_t>(b)];
+  });
+
+  // Sweep with an ancestor stack: when visiting p, pop stack entries that do
+  // not cover p; the remaining top (if any) is p's parent.
+  std::vector<std::int32_t> stack;
+  for (std::int32_t idx : order) {
+    const Prefix& p = prefixes[static_cast<std::size_t>(idx)];
+    while (!stack.empty() &&
+           !prefixes[static_cast<std::size_t>(stack.back())].covers(p)) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      // A duplicate prefix (possible in anomalous datasets before cleaning)
+      // is parented under its first occurrence.
+      parent_[static_cast<std::size_t>(idx)] = stack.back();
+      children_[static_cast<std::size_t>(stack.back())].push_back(idx);
+      root_[static_cast<std::size_t>(idx)] =
+          root_[static_cast<std::size_t>(stack.back())];
+    } else {
+      roots_.push_back(idx);
+      root_[static_cast<std::size_t>(idx)] = idx;
+    }
+    stack.push_back(idx);
+  }
+}
+
+std::vector<std::int32_t> PrefixForest::tree_members(std::int32_t r) const {
+  std::vector<std::int32_t> out;
+  std::vector<std::int32_t> frontier{r};
+  while (!frontier.empty()) {
+    const std::int32_t i = frontier.back();
+    frontier.pop_back();
+    out.push_back(i);
+    const auto& kids = children_[static_cast<std::size_t>(i)];
+    frontier.insert(frontier.end(), kids.rbegin(), kids.rend());
+  }
+  return out;
+}
+
+std::vector<std::int32_t> PrefixForest::non_trivial_roots() const {
+  std::vector<std::int32_t> out;
+  for (std::int32_t r : roots_) {
+    if (!children_[static_cast<std::size_t>(r)].empty()) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace dragon::prefix

@@ -1,0 +1,64 @@
+// Parent relationships over an arbitrary collection of prefixes.
+//
+// The paper's evaluation is organised around "prefix-trees": a parentless
+// prefix together with every more-specific prefix in the routing system
+// (§5.3).  PrefixForest computes, for a batch of prefixes, each prefix's
+// parent (the most specific strictly-covering prefix in the batch), the
+// roots, per-tree membership, and tree depth — in O(n log n).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "prefix/prefix.hpp"
+
+namespace dragon::prefix {
+
+class PrefixForest {
+ public:
+  /// Index value meaning "no parent".
+  static constexpr std::int32_t kNone = -1;
+
+  PrefixForest() = default;
+
+  /// Builds the forest over `prefixes`.  Duplicate prefixes are not allowed
+  /// (callers deduplicate first; the assignment generator never produces
+  /// duplicates).  Indices in all query results refer to positions in the
+  /// input span.
+  explicit PrefixForest(std::span<const Prefix> prefixes);
+
+  [[nodiscard]] std::size_t size() const noexcept { return parent_.size(); }
+
+  /// Parent index of prefix `i`, or kNone for roots.
+  [[nodiscard]] std::int32_t parent(std::size_t i) const { return parent_[i]; }
+
+  /// Children indices of prefix `i` (direct children in the forest).
+  [[nodiscard]] const std::vector<std::int32_t>& children(std::size_t i) const {
+    return children_[i];
+  }
+
+  /// Indices of parentless prefixes.
+  [[nodiscard]] const std::vector<std::int32_t>& roots() const noexcept {
+    return roots_;
+  }
+
+  /// Root index of the tree containing prefix `i`.
+  [[nodiscard]] std::int32_t root_of(std::size_t i) const { return root_[i]; }
+
+  /// All indices in the tree rooted at root index `r`, in pre-order
+  /// (parents before children).
+  [[nodiscard]] std::vector<std::int32_t> tree_members(std::int32_t r) const;
+
+  /// Roots whose trees contain at least two prefixes (the paper's
+  /// "non-trivial prefix-trees").
+  [[nodiscard]] std::vector<std::int32_t> non_trivial_roots() const;
+
+ private:
+  std::vector<std::int32_t> parent_;
+  std::vector<std::vector<std::int32_t>> children_;
+  std::vector<std::int32_t> roots_;
+  std::vector<std::int32_t> root_;
+};
+
+}  // namespace dragon::prefix

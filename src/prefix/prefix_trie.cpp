@@ -1,0 +1,10 @@
+#include "prefix/prefix_trie.hpp"
+
+namespace dragon::prefix {
+
+// Explicit instantiations for the payload types used across the library;
+// keeps template bloat out of every client translation unit.
+template class PrefixTrie<int>;
+template class PrefixTrie<std::uint32_t>;
+
+}  // namespace dragon::prefix

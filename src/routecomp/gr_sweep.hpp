@@ -1,0 +1,87 @@
+// Fast stable-state computation for the GR algebra, one origin at a time.
+//
+// Because GR routing policies do not depend on the prefix (§4.1 assumption),
+// the stable state of the vector-protocol for any prefix is a function of
+// its origin AS only.  For one origin it is computable in O(V + E) with a
+// three-phase sweep, which is what makes Internet-scale evaluation (Fig. 8)
+// tractable:
+//   1. customer routes: BFS from the origin along customer->provider links
+//      (every AS with the origin in its customer cone elects a customer
+//      route; BFS depth = AS-path length);
+//   2. peer routes: ASs without a customer route that have a peer electing
+//      a customer route;
+//   3. provider routes: multi-source shortest-hop propagation down
+//      provider->customer links from all ASs routed so far.
+//
+// The sweep also yields AS-path lengths (BGP's tie-breaker) and forwarding
+// neighbours, both needed by the FIB-compression baseline and the slack-X
+// ablation.  Its agreement with the generic solver is asserted by tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algebra/gr_algebra.hpp"
+#include "topology/graph.hpp"
+
+namespace dragon::routecomp {
+
+/// Attribute classes per node after convergence; kUnreachableClass for
+/// nodes with no route (cannot happen in policy-connected topologies).
+inline constexpr std::uint8_t kCustomer =
+    static_cast<std::uint8_t>(algebra::GrClass::kCustomer);
+inline constexpr std::uint8_t kPeer =
+    static_cast<std::uint8_t>(algebra::GrClass::kPeer);
+inline constexpr std::uint8_t kProvider =
+    static_cast<std::uint8_t>(algebra::GrClass::kProvider);
+inline constexpr std::uint8_t kUnreachableClass = 3;
+
+inline constexpr std::uint16_t kInfiniteDistance = 0xFFFF;
+
+struct GrStableState {
+  /// Origin set (singleton normally; several for anycast aggregation
+  /// prefixes, §3.7).
+  std::vector<topology::NodeId> origins;
+  /// Elected GR class per node (kCustomer at the origins themselves).
+  std::vector<std::uint8_t> cls;
+  /// AS-path length of the elected route per node (0 at the origins).
+  std::vector<std::uint16_t> dist;
+
+  [[nodiscard]] bool is_origin(topology::NodeId u) const {
+    for (topology::NodeId o : origins) {
+      if (o == u) return true;
+    }
+    return false;
+  }
+};
+
+/// Computes the stable state for routes originated at `origin`.
+[[nodiscard]] GrStableState gr_sweep(const topology::Topology& topo,
+                                     topology::NodeId origin);
+
+/// Anycast generalisation: all origins announce a customer route; each node
+/// elects the best candidate.  `suppressed`, if given, marks nodes that
+/// elect but do not announce (DRAGON filtering at partial deployment);
+/// origins always announce.
+[[nodiscard]] GrStableState gr_sweep_multi(
+    const topology::Topology& topo,
+    std::span<const topology::NodeId> origins,
+    const std::vector<char>* suppressed = nullptr);
+
+/// All forwarding neighbours of `u` for this origin: neighbours whose
+/// candidate route coincides with u's elected route (class and path
+/// length).  Empty for the origin and for unreachable nodes.
+[[nodiscard]] std::vector<topology::NodeId> forwarding_neighbors(
+    const topology::Topology& topo, const GrStableState& state,
+    topology::NodeId u);
+
+/// Deterministic single best forwarding neighbour (lowest node id among
+/// forwarding_neighbors), modelling BGP's single best path.  Returns
+/// kNoNeighbor for the origin / unreachable nodes.
+inline constexpr topology::NodeId kNoNeighbor = 0xFFFFFFFFu;
+[[nodiscard]] topology::NodeId best_forwarding_neighbor(
+    const topology::Topology& topo, const GrStableState& state,
+    topology::NodeId u);
+
+}  // namespace dragon::routecomp

@@ -1,0 +1,83 @@
+#include "stats/ccdf.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace dragon::stats {
+
+std::vector<CcdfPoint> ccdf(std::span<const double> samples) {
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CcdfPoint> points;
+  const double n = static_cast<double>(sorted.size());
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    // fraction of samples strictly greater than sorted[i]
+    points.push_back({sorted[i], static_cast<double>(sorted.size() - j) / n});
+    i = j;
+  }
+  return points;
+}
+
+double fraction_above(std::span<const double> samples, double t) {
+  if (samples.empty()) return 0.0;
+  const auto count = std::count_if(samples.begin(), samples.end(),
+                                   [t](double v) { return v > t; });
+  return static_cast<double>(count) / static_cast<double>(samples.size());
+}
+
+double fraction_at_least(std::span<const double> samples, double t) {
+  if (samples.empty()) return 0.0;
+  const auto count = std::count_if(samples.begin(), samples.end(),
+                                   [t](double v) { return v >= t; });
+  return static_cast<double>(count) / static_cast<double>(samples.size());
+}
+
+double percentile(std::span<const double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+double min_of(std::span<const double> samples) {
+  return samples.empty() ? 0.0
+                         : *std::min_element(samples.begin(), samples.end());
+}
+
+double max_of(std::span<const double> samples) {
+  return samples.empty() ? 0.0
+                         : *std::max_element(samples.begin(), samples.end());
+}
+
+double mean_of(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  return std::accumulate(samples.begin(), samples.end(), 0.0) /
+         static_cast<double>(samples.size());
+}
+
+std::string format_ccdf(std::span<const CcdfPoint> points,
+                        std::size_t max_rows) {
+  std::string out;
+  const std::size_t n = points.size();
+  const std::size_t step = n > max_rows ? (n + max_rows - 1) / max_rows : 1;
+  char line[64];
+  for (std::size_t i = 0; i < n; i += step) {
+    std::snprintf(line, sizeof line, "%12.4f  %8.4f\n", points[i].value,
+                  points[i].fraction);
+    out += line;
+  }
+  if (n > 0 && (n - 1) % step != 0) {
+    std::snprintf(line, sizeof line, "%12.4f  %8.4f\n", points[n - 1].value,
+                  points[n - 1].fraction);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dragon::stats

@@ -1,0 +1,40 @@
+// Complementary CDFs and percentile summaries — the presentation form of
+// both evaluation figures (Fig. 8 and Fig. 9 are CCDFs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dragon::stats {
+
+/// One CCDF point: `fraction` (in [0,1]) of samples are > `value`
+/// (strictly greater, matching "y% of the ASs have a filtering efficiency
+/// of more than x%").
+struct CcdfPoint {
+  double value;
+  double fraction;
+};
+
+/// Builds the full empirical CCDF (one point per distinct value).
+[[nodiscard]] std::vector<CcdfPoint> ccdf(std::span<const double> samples);
+
+/// Evaluates the CCDF at chosen thresholds: fraction of samples > t.
+[[nodiscard]] double fraction_above(std::span<const double> samples, double t);
+
+/// Fraction of samples >= t.
+[[nodiscard]] double fraction_at_least(std::span<const double> samples, double t);
+
+/// Order statistics.  `q` in [0,1]; nearest-rank on a sorted copy.
+[[nodiscard]] double percentile(std::span<const double> samples, double q);
+[[nodiscard]] double min_of(std::span<const double> samples);
+[[nodiscard]] double max_of(std::span<const double> samples);
+[[nodiscard]] double mean_of(std::span<const double> samples);
+
+/// Renders a CCDF as aligned "value fraction" rows, optionally
+/// down-sampled to at most `max_rows` evenly spaced points.
+[[nodiscard]] std::string format_ccdf(std::span<const CcdfPoint> points,
+                                      std::size_t max_rows = 32);
+
+}  // namespace dragon::stats

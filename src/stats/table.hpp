@@ -1,0 +1,32 @@
+// Aligned text tables for the bench harnesses: each bench prints the
+// paper's reported number next to the measured one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dragon::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for the common "metric | paper | measured" shape.
+  void add_comparison(const std::string& metric, const std::string& paper,
+                      double measured);
+
+  [[nodiscard]] std::string to_string() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with trailing-zero trimming ("3.5", "0.833", "42").
+[[nodiscard]] std::string format_number(double value, int max_decimals = 3);
+
+}  // namespace dragon::stats

@@ -1,0 +1,138 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dragon::topology {
+
+NodeId Topology::add_node() {
+  adj_.emplace_back();
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+void Topology::add_provider_customer(NodeId provider, NodeId customer) {
+  assert(provider < adj_.size() && customer < adj_.size());
+  assert(provider != customer);
+  assert(!linked(provider, customer));
+  adj_[provider].push_back({customer, Rel::kCustomer});
+  adj_[customer].push_back({provider, Rel::kProvider});
+  ++links_;
+}
+
+void Topology::add_peer_peer(NodeId a, NodeId b) {
+  assert(a < adj_.size() && b < adj_.size());
+  assert(a != b);
+  assert(!linked(a, b));
+  adj_[a].push_back({b, Rel::kPeer});
+  adj_[b].push_back({a, Rel::kPeer});
+  ++links_;
+}
+
+bool Topology::remove_link(NodeId a, NodeId b) {
+  auto drop = [this](NodeId from, NodeId to) {
+    auto& vec = adj_[from];
+    auto it = std::find_if(vec.begin(), vec.end(),
+                           [to](const Neighbor& n) { return n.id == to; });
+    if (it == vec.end()) return false;
+    vec.erase(it);
+    return true;
+  };
+  if (!drop(a, b)) return false;
+  drop(b, a);
+  --links_;
+  return true;
+}
+
+bool Topology::linked(NodeId a, NodeId b) const {
+  const auto& vec = adj_[a];
+  return std::any_of(vec.begin(), vec.end(),
+                     [b](const Neighbor& n) { return n.id == b; });
+}
+
+std::vector<NodeId> Topology::providers(NodeId u) const {
+  std::vector<NodeId> out;
+  for (const Neighbor& n : adj_[u]) {
+    if (n.rel == Rel::kProvider) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::customers(NodeId u) const {
+  std::vector<NodeId> out;
+  for (const Neighbor& n : adj_[u]) {
+    if (n.rel == Rel::kCustomer) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::peers(NodeId u) const {
+  std::vector<NodeId> out;
+  for (const Neighbor& n : adj_[u]) {
+    if (n.rel == Rel::kPeer) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::size_t Topology::customer_count(NodeId u) const {
+  return static_cast<std::size_t>(
+      std::count_if(adj_[u].begin(), adj_[u].end(),
+                    [](const Neighbor& n) { return n.rel == Rel::kCustomer; }));
+}
+
+std::size_t Topology::provider_count(NodeId u) const {
+  return static_cast<std::size_t>(
+      std::count_if(adj_[u].begin(), adj_[u].end(),
+                    [](const Neighbor& n) { return n.rel == Rel::kProvider; }));
+}
+
+std::vector<NodeId> Topology::stubs() const {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < adj_.size(); ++u) {
+    if (is_stub(u)) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::roots() const {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < adj_.size(); ++u) {
+    if (is_root(u)) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<Topology::Link> Topology::links() const {
+  std::vector<Link> out;
+  out.reserve(links_);
+  for (NodeId u = 0; u < adj_.size(); ++u) {
+    for (const Neighbor& n : adj_[u]) {
+      // Report each undirected link once: from the provider side for
+      // provider-customer links, from the lower id for peer links.
+      if (n.rel == Rel::kCustomer || (n.rel == Rel::kPeer && u < n.id)) {
+        out.push_back({u, n.id, n.rel});
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t Topology::customer_cone_size(NodeId u) const {
+  std::vector<char> seen(adj_.size(), 0);
+  std::vector<NodeId> frontier{u};
+  seen[u] = 1;
+  std::size_t count = 0;
+  while (!frontier.empty()) {
+    const NodeId x = frontier.back();
+    frontier.pop_back();
+    ++count;
+    for (const Neighbor& n : adj_[x]) {
+      if (n.rel == Rel::kCustomer && !seen[n.id]) {
+        seen[n.id] = 1;
+        frontier.push_back(n.id);
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace dragon::topology

@@ -1,0 +1,106 @@
+#include "topology/loader.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dragon::topology {
+
+namespace {
+
+std::uint32_t parse_u32(std::string_view field, std::size_t line_no) {
+  std::uint32_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw std::runtime_error("line " + std::to_string(line_no) +
+                             ": bad AS number '" + std::string(field) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+LoadedTopology load_as_relationships(std::istream& in) {
+  LoadedTopology out;
+  std::unordered_map<std::uint32_t, NodeId> id_of;
+  auto intern = [&](std::uint32_t asn) {
+    auto [it, fresh] = id_of.try_emplace(asn, 0);
+    if (fresh) {
+      it->second = out.graph.add_node();
+      out.asn.push_back(asn);
+    }
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::string_view rest = line;
+    const auto bar1 = rest.find('|');
+    const auto bar2 = bar1 == std::string_view::npos
+                          ? std::string_view::npos
+                          : rest.find('|', bar1 + 1);
+    if (bar2 == std::string_view::npos) {
+      throw std::runtime_error("line " + std::to_string(line_no) +
+                               ": expected 'as1|as2|rel'");
+    }
+    // A third '|' (CAIDA serial-2 adds a source field) is tolerated.
+    auto rel_end = rest.find('|', bar2 + 1);
+    if (rel_end == std::string_view::npos) rel_end = rest.size();
+
+    const std::uint32_t as1 = parse_u32(rest.substr(0, bar1), line_no);
+    const std::uint32_t as2 =
+        parse_u32(rest.substr(bar1 + 1, bar2 - bar1 - 1), line_no);
+    const std::string_view rel = rest.substr(bar2 + 1, rel_end - bar2 - 1);
+
+    if (as1 == as2) {
+      ++out.skipped_lines;
+      continue;
+    }
+    const NodeId a = intern(as1);
+    const NodeId b = intern(as2);
+    if (out.graph.linked(a, b)) {
+      ++out.skipped_lines;
+      continue;
+    }
+    if (rel == "-1") {
+      out.graph.add_provider_customer(a, b);
+    } else if (rel == "0") {
+      out.graph.add_peer_peer(a, b);
+    } else if (rel == "1") {
+      // Some datasets encode "as1 is a customer of as2" explicitly.
+      out.graph.add_provider_customer(b, a);
+    } else {
+      throw std::runtime_error("line " + std::to_string(line_no) +
+                               ": unknown relationship '" + std::string(rel) +
+                               "'");
+    }
+  }
+  return out;
+}
+
+LoadedTopology load_as_relationships_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open topology file: " + path);
+  return load_as_relationships(in);
+}
+
+void save_as_relationships(const Topology& topo, std::ostream& out,
+                           const std::vector<std::uint32_t>* asn) {
+  auto name = [asn](NodeId u) {
+    return asn ? (*asn)[u] : static_cast<std::uint32_t>(u);
+  };
+  for (const auto& link : topo.links()) {
+    if (link.b_is == Rel::kCustomer) {
+      out << name(link.a) << '|' << name(link.b) << "|-1\n";
+    } else {
+      out << name(link.a) << '|' << name(link.b) << "|0\n";
+    }
+  }
+}
+
+}  // namespace dragon::topology

@@ -1,0 +1,44 @@
+// Loading and saving AS-level topologies in the CAIDA/UCLA AS-relationship
+// text format:
+//
+//   # comment lines start with '#'
+//   <as-number>|<as-number>|<rel>
+//
+// where rel = -1 means the first AS is a provider of the second, and
+// rel = 0 means the two ASs are peers.  This is the format of the inferred
+// topologies the paper evaluates on (§5.1), so the pipeline runs unchanged
+// on the real datasets when they are available.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace dragon::topology {
+
+struct LoadedTopology {
+  Topology graph;
+  /// asn[node] is the AS number the node id was assigned from the file.
+  std::vector<std::uint32_t> asn;
+  /// Input lines skipped because they duplicated an existing link or
+  /// contradicted its relationship.
+  std::size_t skipped_lines = 0;
+};
+
+/// Parses the AS-relationship format.  Throws std::runtime_error on
+/// malformed lines (wrong field count, non-numeric AS, unknown rel code).
+[[nodiscard]] LoadedTopology load_as_relationships(std::istream& in);
+
+/// Convenience overload reading from a file path.
+[[nodiscard]] LoadedTopology load_as_relationships_file(const std::string& path);
+
+/// Writes a topology in the same format; node ids are used as AS numbers
+/// unless a mapping is supplied.
+void save_as_relationships(const Topology& topo, std::ostream& out,
+                           const std::vector<std::uint32_t>* asn = nullptr);
+
+}  // namespace dragon::topology

@@ -1,0 +1,107 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dragon::util {
+
+void Flags::define(std::string name, std::string default_value,
+                   std::string help) {
+  Entry e;
+  e.value = default_value;
+  e.default_value = std::move(default_value);
+  e.help = std::move(help);
+  entries_.insert_or_assign(std::move(name), std::move(e));
+}
+
+bool Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [flags]\n", argv[0]);
+      for (const auto& [name, e] : entries_) {
+        std::printf("  --%-24s %s (default: %s)\n", name.c_str(),
+                    e.help.c_str(), e.default_value.c_str());
+      }
+      return false;
+    }
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      std::fprintf(stderr, "unexpected argument: %s\n", std::string(arg).c_str());
+      return false;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::string value;
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else if (arg.substr(0, 3) == "no-" &&
+               entries_.find(arg.substr(3)) != entries_.end()) {
+      name = std::string(arg.substr(3));
+      value = "false";
+    } else {
+      name = std::string(arg);
+      // A declared boolean-looking flag with no value means "true"; otherwise
+      // consume the next argv entry as the value.
+      auto it = entries_.find(name);
+      const bool next_is_value =
+          i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--";
+      if (it != entries_.end() &&
+          (it->second.default_value == "true" ||
+           it->second.default_value == "false") &&
+          !next_is_value) {
+        value = "true";
+      } else if (next_is_value) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
+        return false;
+      }
+    }
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const Flags::Entry& Flags::entry(std::string_view name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::out_of_range("undeclared flag: " + std::string(name));
+  }
+  return it->second;
+}
+
+std::string Flags::str(std::string_view name) const { return entry(name).value; }
+
+std::int64_t Flags::i64(std::string_view name) const {
+  return std::strtoll(entry(name).value.c_str(), nullptr, 10);
+}
+
+std::uint64_t Flags::u64(std::string_view name) const {
+  return std::strtoull(entry(name).value.c_str(), nullptr, 10);
+}
+
+double Flags::f64(std::string_view name) const {
+  return std::strtod(entry(name).value.c_str(), nullptr);
+}
+
+bool Flags::boolean(std::string_view name) const {
+  const std::string& v = entry(name).value;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+void Flags::print_config(std::string_view program) const {
+  std::printf("# %.*s", static_cast<int>(program.size()), program.data());
+  for (const auto& [name, e] : entries_) {
+    std::printf(" --%s=%s", name.c_str(), e.value.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace dragon::util

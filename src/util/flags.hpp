@@ -1,0 +1,48 @@
+// Minimal command-line flag parsing for the benchmark and example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name` /
+// `--no-name` forms.  Every bench harness declares its flags up front so
+// `--help` can print them with defaults; unknown flags are a hard error to
+// keep experiment invocations honest.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dragon::util {
+
+/// A parsed command line: declared flags with defaults plus overrides.
+class Flags {
+ public:
+  /// Declares a flag with a default value and a help line.
+  void define(std::string name, std::string default_value, std::string help);
+
+  /// Parses argv.  Returns false (after printing a message) on `--help` or
+  /// on an unknown/malformed flag; the caller should exit.
+  [[nodiscard]] bool parse(int argc, char** argv);
+
+  [[nodiscard]] std::string str(std::string_view name) const;
+  [[nodiscard]] std::int64_t i64(std::string_view name) const;
+  [[nodiscard]] std::uint64_t u64(std::string_view name) const;
+  [[nodiscard]] double f64(std::string_view name) const;
+  [[nodiscard]] bool boolean(std::string_view name) const;
+
+  /// Prints `--name=value` lines for every flag (used to log experiment
+  /// configurations into the bench output).
+  void print_config(std::string_view program) const;
+
+ private:
+  struct Entry {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  const Entry& entry(std::string_view name) const;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace dragon::util

@@ -1,0 +1,31 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace dragon::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  std::fprintf(stderr, "[%s] ", kNames[static_cast<int>(level)]);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace dragon::util

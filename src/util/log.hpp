@@ -1,0 +1,28 @@
+// Tiny leveled logger writing to stderr.  The protocol engine logs at debug
+// level when tracing message exchanges; benches log progress at info level.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace dragon::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// printf-style logging at a level.
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace dragon::util
+
+#define DRAGON_LOG_DEBUG(...) \
+  ::dragon::util::logf(::dragon::util::LogLevel::kDebug, __VA_ARGS__)
+#define DRAGON_LOG_INFO(...) \
+  ::dragon::util::logf(::dragon::util::LogLevel::kInfo, __VA_ARGS__)
+#define DRAGON_LOG_WARN(...) \
+  ::dragon::util::logf(::dragon::util::LogLevel::kWarn, __VA_ARGS__)
+#define DRAGON_LOG_ERROR(...) \
+  ::dragon::util::logf(::dragon::util::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,89 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace dragon::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
+  return lo + static_cast<std::int64_t>(
+                  below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::size_t Rng::weighted(const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return below(weights.size());
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  return weights.size() - 1;
+}
+
+std::uint64_t Rng::truncated_geometric(double p, std::uint64_t cap) noexcept {
+  std::uint64_t k = 1;
+  while (k < cap && chance(1.0 - p)) ++k;
+  return k;
+}
+
+Rng Rng::fork() noexcept { return Rng((*this)()); }
+
+}  // namespace dragon::util

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation for the whole library.
+//
+// Every stochastic component of the reproduction (topology generation,
+// prefix assignment, failure sampling, MRAI jitter) draws from an explicit
+// Rng instance seeded by the caller, so that every experiment is exactly
+// replayable from its seed.  We implement xoshiro256** (Blackman & Vigna),
+// seeded through splitmix64, rather than using std::mt19937 so that results
+// are bit-identical across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dragon::util {
+
+/// splitmix64 step; used to expand a single 64-bit seed into a full state.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator.  Satisfies std::uniform_random_bit_generator, so
+/// it can also be plugged into <random> distributions when convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator whose entire stream is a function of `seed`.
+  explicit Rng(std::uint64_t seed = 0xD5A607ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound).  `bound` must be > 0.  Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Samples an index in [0, weights.size()) proportionally to the weights.
+  /// Zero-total weights fall back to uniform.  Requires non-empty weights.
+  [[nodiscard]] std::size_t weighted(const std::vector<double>& weights) noexcept;
+
+  /// Geometric-ish heavy-tail sample: returns k >= 1 with P(k) ~ (1-p)^k,
+  /// capped at `cap`.  Used for multihoming degrees and prefix counts.
+  [[nodiscard]] std::uint64_t truncated_geometric(double p, std::uint64_t cap) noexcept;
+
+  /// Forks an independent generator; the child stream is a pure function of
+  /// this generator's state, so forking preserves determinism.
+  [[nodiscard]] Rng fork() noexcept;
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& v) noexcept {
+    return v[below(v.size())];
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dragon::util

@@ -1,0 +1,184 @@
+// The example networks from the paper's figures, used across the tests and
+// examples.  Node indices follow the paper's u1..uN naming (u1 = index 0).
+#pragma once
+
+#include <utility>
+
+#include "algebra/custom_algebra.hpp"
+#include "routecomp/generic_solver.hpp"
+#include "topology/graph.hpp"
+
+namespace dragon::testing {
+
+// ---------------------------------------------------------------------------
+// Figure 1: the running example.
+//   u2 is a provider of u3 and u4; u1 peers with u2; u3 and u4 are providers
+//   of u6 (multi-homed); u1 and u3 are providers of u5.
+//   Prefix p is assigned to u4 (it delegates q to its customer u6).
+// ---------------------------------------------------------------------------
+struct Figure1 {
+  static constexpr topology::NodeId u1 = 0, u2 = 1, u3 = 2, u4 = 3, u5 = 4,
+                                    u6 = 5;
+  static constexpr topology::NodeId origin_p = u4;
+  static constexpr topology::NodeId origin_q = u6;
+
+  static topology::Topology topology() {
+    topology::Topology topo(6);
+    topo.add_peer_peer(u1, u2);
+    topo.add_provider_customer(u2, u3);
+    topo.add_provider_customer(u2, u4);
+    topo.add_provider_customer(u3, u6);
+    topo.add_provider_customer(u4, u6);
+    topo.add_provider_customer(u1, u5);
+    topo.add_provider_customer(u3, u5);
+    return topo;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Figure 2: why rule RA is necessary.
+//   u1 is the origin of q; u3 (a customer of a customer of u1) originates p;
+//   u4 is u3's customer.
+// ---------------------------------------------------------------------------
+struct Figure2 {
+  static constexpr topology::NodeId u1 = 0, u2 = 1, u3 = 2, u4 = 3;
+  static constexpr topology::NodeId origin_p = u3;
+  static constexpr topology::NodeId origin_q = u1;
+
+  static topology::Topology topology() {
+    topology::Topology topo(4);
+    topo.add_provider_customer(u1, u2);
+    topo.add_provider_customer(u2, u3);
+    topo.add_provider_customer(u3, u4);
+    return topo;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Figure 3: non-isotone policies break route consistency.
+//   Same topology as Figure 1, but u5 prefers provider u3 over provider u1,
+//   and u3 exports only provider routes (not customer routes) to u5.
+//   Encoded as a table algebra over attributes
+//     customer < peer < provider-preferred < provider-less-preferred
+//   with an explicitly labeled network.
+// ---------------------------------------------------------------------------
+struct Figure3 {
+  static constexpr topology::NodeId u1 = 0, u2 = 1, u3 = 2, u4 = 3, u5 = 4,
+                                    u6 = 5;
+  static constexpr topology::NodeId origin_p = u4;
+  static constexpr topology::NodeId origin_q = u6;
+
+  // Attributes.
+  static constexpr algebra::Attr kCust = 0;
+  static constexpr algebra::Attr kPeer = 1;
+  static constexpr algebra::Attr kProvPref = 2;   // learned from preferred provider
+  static constexpr algebra::Attr kProvLess = 3;   // learned from less preferred
+
+  // Labels.
+  static constexpr algebra::LabelId kToProvider = 0;  // exports customer only
+  static constexpr algebra::LabelId kToPeer = 1;      // customer -> peer
+  static constexpr algebra::LabelId kFromProviderPref = 2;  // all -> prov-pref
+  static constexpr algebra::LabelId kFromProviderLess = 3;  // all -> prov-less
+  static constexpr algebra::LabelId kU3ToU5 = 4;  // only provider routes pass
+
+  static algebra::TableAlgebra algebra_instance() {
+    const algebra::Attr X = algebra::kUnreachable;
+    return algebra::TableAlgebra(
+        {"customer", "peer", "prov-pref", "prov-less"},
+        {
+            {kCust, X, X, X},                              // kToProvider
+            {kPeer, X, X, X},                              // kToPeer
+            {kProvPref, kProvPref, kProvPref, kProvPref},  // kFromProviderPref
+            {kProvLess, kProvLess, kProvLess, kProvLess},  // kFromProviderLess
+            {X, X, kProvPref, kProvPref},                  // kU3ToU5 (non-isotone)
+        });
+  }
+
+  static routecomp::LabeledNetwork network() {
+    routecomp::LabeledNetwork net(6);
+    // u1 -- u2 peers.
+    net.add_relation(u1, u2, kToPeer);
+    net.add_relation(u2, u1, kToPeer);
+    // u2 provider of u3 and u4.
+    net.add_relation(u3, u2, kFromProviderPref);
+    net.add_relation(u2, u3, kToProvider);
+    net.add_relation(u4, u2, kFromProviderPref);
+    net.add_relation(u2, u4, kToProvider);
+    // u3 and u4 providers of u6.
+    net.add_relation(u6, u3, kFromProviderPref);
+    net.add_relation(u3, u6, kToProvider);
+    net.add_relation(u6, u4, kFromProviderPref);
+    net.add_relation(u4, u6, kToProvider);
+    // u1 and u3 providers of u5; u5 prefers u3, and u3 exports only
+    // provider routes to u5.
+    net.add_relation(u5, u1, kFromProviderLess);
+    net.add_relation(u1, u5, kToProvider);
+    net.add_relation(u5, u3, kU3ToU5);
+    net.add_relation(u3, u5, kToProvider);
+    return net;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Figure 4: partial deployment.
+//   u1 is a provider of u3 and u6; u2 peers with u1 and u3; u2 is a provider
+//   of u4, u4 of u5, u5 of u6.  p originates at u5, q at u6.
+// ---------------------------------------------------------------------------
+struct Figure4 {
+  static constexpr topology::NodeId u1 = 0, u2 = 1, u3 = 2, u4 = 3, u5 = 4,
+                                    u6 = 5;
+  static constexpr topology::NodeId origin_p = u5;
+  static constexpr topology::NodeId origin_q = u6;
+
+  static topology::Topology topology() {
+    topology::Topology topo(6);
+    topo.add_provider_customer(u1, u3);
+    topo.add_provider_customer(u1, u6);
+    topo.add_peer_peer(u2, u1);
+    topo.add_peer_peer(u2, u3);
+    topo.add_provider_customer(u2, u4);
+    topo.add_provider_customer(u4, u5);
+    topo.add_provider_customer(u5, u6);
+    return topo;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Figure 5 / 6: aggregation-prefix self-organisation topologies.
+//   Figure 5: t1, t2, t3 own PI prefixes 100, 1010, 1011; u3 and u4 are both
+//   providers of all three; u1 provider of u3, u2 provider of u4... (in the
+//   paper u1 and u2 sit above u3/u4; u2 peers with u3's side).  We model the
+//   essentials: u3, u4 both elect customer routes for every PI prefix.
+// ---------------------------------------------------------------------------
+struct Figure5 {
+  static constexpr topology::NodeId u1 = 0, u2 = 1, u3 = 2, u4 = 3, t1 = 4,
+                                    t2 = 5, t3 = 6;
+
+  static topology::Topology topology() {
+    topology::Topology topo(7);
+    topo.add_peer_peer(u1, u2);
+    topo.add_provider_customer(u1, u3);
+    topo.add_provider_customer(u2, u4);
+    for (topology::NodeId t : {t1, t2, t3}) {
+      topo.add_provider_customer(u3, t);
+      topo.add_provider_customer(u4, t);
+    }
+    return topo;
+  }
+};
+
+// Figure 6: u1 provider of u2; u2 provider of t1, t2, t3 (the PI owners).
+struct Figure6 {
+  static constexpr topology::NodeId u1 = 0, u2 = 1, t1 = 2, t2 = 3, t3 = 4;
+
+  static topology::Topology topology() {
+    topology::Topology topo(5);
+    topo.add_provider_customer(u1, u2);
+    for (topology::NodeId t : {t1, t2, t3}) {
+      topo.add_provider_customer(u2, t);
+    }
+    return topo;
+  }
+};
+
+}  // namespace dragon::testing

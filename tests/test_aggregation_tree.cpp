@@ -1,0 +1,102 @@
+#include "prefix/aggregation_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace dragon::prefix {
+namespace {
+
+Prefix bp(const char* s) { return *Prefix::from_bit_string(s); }
+
+TEST(AggregationTree, PaperFigure5Example) {
+  // PI prefixes 100, 1010, 1011 aggregate into 10 (§3.7, Fig. 5).
+  const std::vector<Prefix> pi{bp("100"), bp("1010"), bp("1011")};
+  const auto candidates = compute_aggregation_prefixes(pi);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].aggregate, bp("10"));
+  EXPECT_EQ(candidates[0].covered.size(), 3u);
+}
+
+TEST(AggregationTree, NoNewAddressSpace) {
+  // 100 and 1011 do not tile 10 (1010 missing): no aggregate.
+  const std::vector<Prefix> pi{bp("100"), bp("1011")};
+  EXPECT_TRUE(compute_aggregation_prefixes(pi).empty());
+}
+
+TEST(AggregationTree, MaximalAggregateChosen) {
+  // A full tiling of 1 aggregates at 1, not at 10/11 separately.
+  const std::vector<Prefix> pi{bp("100"), bp("101"), bp("110"), bp("111")};
+  const auto candidates = compute_aggregation_prefixes(pi);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].aggregate, bp("1"));
+  EXPECT_EQ(candidates[0].covered.size(), 4u);
+}
+
+TEST(AggregationTree, DisjointCandidates) {
+  const std::vector<Prefix> pi{bp("000"), bp("001"),   // tile 00
+                               bp("110"), bp("111"),   // tile 11
+                               bp("01000")};           // lone prefix
+  const auto candidates = compute_aggregation_prefixes(pi);
+  ASSERT_EQ(candidates.size(), 2u);
+  std::set<std::string> got;
+  for (const auto& c : candidates) got.insert(c.aggregate.to_bit_string());
+  EXPECT_EQ(got, (std::set<std::string>{"00", "11"}));
+}
+
+TEST(AggregationTree, EmptyInput) {
+  EXPECT_TRUE(compute_aggregation_prefixes({}).empty());
+}
+
+class AggregationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AggregationProperty, CandidatesAreExactTilings) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    // Build a random non-overlapping prefix set by splitting the space.
+    std::vector<Prefix> pool{Prefix(0, 2), Prefix(1u << 30, 2)};
+    for (int step = 0; step < 40; ++step) {
+      const std::size_t i = rng.below(pool.size());
+      if (pool[i].length() >= 12) continue;
+      const Prefix victim = pool[i];
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+      pool.push_back(victim.child(0));
+      if (!rng.chance(0.3)) pool.push_back(victim.child(1));  // else: a hole
+    }
+    const auto candidates = compute_aggregation_prefixes(pool);
+    for (const auto& cand : candidates) {
+      // Covered prefixes lie inside the aggregate and tile it exactly.
+      ASSERT_GE(cand.covered.size(), 2u);
+      std::uint64_t total = 0;
+      for (std::int32_t idx : cand.covered) {
+        const Prefix& p = pool[static_cast<std::size_t>(idx)];
+        EXPECT_TRUE(cand.aggregate.covers(p));
+        total += p.size();
+      }
+      EXPECT_EQ(total, cand.aggregate.size());
+      // Maximality: the trie parent of the aggregate is not itself tiled by
+      // pool members (otherwise the parent would have been emitted).
+      std::uint64_t parent_total = 0;
+      for (const Prefix& p : pool) {
+        if (cand.aggregate.trie_parent().covers(p)) parent_total += p.size();
+      }
+      EXPECT_LT(parent_total, cand.aggregate.trie_parent().size());
+    }
+    // Candidates are pairwise disjoint.
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+        EXPECT_FALSE(candidates[i].aggregate.covers(candidates[j].aggregate));
+        EXPECT_FALSE(candidates[j].aggregate.covers(candidates[i].aggregate));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregationProperty,
+                         ::testing::Values(11, 12, 13, 14));
+
+}  // namespace
+}  // namespace dragon::prefix

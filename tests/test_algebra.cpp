@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "algebra/custom_algebra.hpp"
+#include "algebra/gr_algebra.hpp"
+#include "algebra/gr_path_algebra.hpp"
+#include "algebra/property_check.hpp"
+#include "algebra/shortest_path_algebra.hpp"
+#include "paper_networks.hpp"
+#include "util/rng.hpp"
+
+namespace dragon::algebra {
+namespace {
+
+constexpr Attr kCust = attr(GrClass::kCustomer);
+constexpr Attr kPeerA = attr(GrClass::kPeer);
+constexpr Attr kProv = attr(GrClass::kProvider);
+constexpr LabelId kFromCust = label(GrLabel::kFromCustomer);
+constexpr LabelId kFromPeer = label(GrLabel::kFromPeer);
+constexpr LabelId kFromProv = label(GrLabel::kFromProvider);
+
+TEST(GrAlgebra, PreferenceOrder) {
+  GrAlgebra gr;
+  EXPECT_TRUE(gr.prefer(kCust, kPeerA));
+  EXPECT_TRUE(gr.prefer(kPeerA, kProv));
+  EXPECT_TRUE(gr.prefer(kProv, kUnreachable));
+  EXPECT_FALSE(gr.prefer(kProv, kCust));
+  EXPECT_FALSE(gr.prefer(kCust, kCust));
+  EXPECT_TRUE(gr.prefer_eq(kCust, kCust));
+}
+
+TEST(GrAlgebra, ExportRules) {
+  GrAlgebra gr;
+  // Only customer routes are exported to providers/peers (§2).
+  EXPECT_EQ(gr.extend(kFromCust, kCust), kCust);
+  EXPECT_EQ(gr.extend(kFromCust, kPeerA), kUnreachable);
+  EXPECT_EQ(gr.extend(kFromCust, kProv), kUnreachable);
+  EXPECT_EQ(gr.extend(kFromPeer, kCust), kPeerA);
+  EXPECT_EQ(gr.extend(kFromPeer, kPeerA), kUnreachable);
+  EXPECT_EQ(gr.extend(kFromPeer, kProv), kUnreachable);
+  // Everything is exported to customers and becomes a provider route.
+  EXPECT_EQ(gr.extend(kFromProv, kCust), kProv);
+  EXPECT_EQ(gr.extend(kFromProv, kPeerA), kProv);
+  EXPECT_EQ(gr.extend(kFromProv, kProv), kProv);
+  // Labels fix the unreachable attribute.
+  for (LabelId l : gr.label_support()) {
+    EXPECT_EQ(gr.extend(l, kUnreachable), kUnreachable);
+  }
+}
+
+TEST(GrAlgebra, IsIsotone) {
+  GrAlgebra gr;
+  EXPECT_TRUE(is_isotone(gr));  // §3.3 argues this explicitly
+}
+
+TEST(GrAlgebra, AttrNames) {
+  GrAlgebra gr;
+  EXPECT_EQ(gr.attr_name(kCust), "customer");
+  EXPECT_EQ(gr.attr_name(kPeerA), "peer");
+  EXPECT_EQ(gr.attr_name(kProv), "provider");
+  EXPECT_EQ(gr.attr_name(kUnreachable), "unreachable");
+}
+
+TEST(GrPathAlgebra, LexicographicOnClassThenLength) {
+  GrPathAlgebra alg;
+  const Attr cust2 = GrPathAlgebra::make(GrClass::kCustomer, 2);
+  const Attr cust3 = GrPathAlgebra::make(GrClass::kCustomer, 3);
+  const Attr peer1 = GrPathAlgebra::make(GrClass::kPeer, 1);
+  EXPECT_TRUE(alg.prefer(cust2, cust3));
+  EXPECT_TRUE(alg.prefer(cust3, peer1));  // class dominates length
+  EXPECT_EQ(GrPathAlgebra::class_of(peer1), GrClass::kPeer);
+  EXPECT_EQ(GrPathAlgebra::path_length_of(peer1), 1u);
+}
+
+TEST(GrPathAlgebra, ExtendIncrementsLength) {
+  GrPathAlgebra alg;
+  const Attr cust2 = GrPathAlgebra::make(GrClass::kCustomer, 2);
+  EXPECT_EQ(alg.extend(kFromCust, cust2),
+            GrPathAlgebra::make(GrClass::kCustomer, 3));
+  EXPECT_EQ(alg.extend(kFromPeer, cust2),
+            GrPathAlgebra::make(GrClass::kPeer, 3));
+  EXPECT_EQ(alg.extend(kFromProv, cust2),
+            GrPathAlgebra::make(GrClass::kProvider, 3));
+  EXPECT_EQ(alg.extend(kFromCust, GrPathAlgebra::make(GrClass::kPeer, 1)),
+            kUnreachable);
+}
+
+TEST(GrPathAlgebra, WholeAttributeIsNotIsotone) {
+  // Lexicographic (GR class, AS-path length) is NOT isotone: a customer
+  // route with a long path is preferred to a peer route with a short one,
+  // but exporting both to a customer collapses the classes to "provider"
+  // and only the lengths remain — reversing the preference.  This is why
+  // §3.5 runs code CR on L-attributes with slack on AS-path lengths rather
+  // than on whole attributes.
+  GrPathAlgebra alg;
+  const auto violation = find_isotonicity_violation(alg);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->label, kFromProv);
+  // The class projection alone (the L-attribute) is isotone: that is the
+  // plain GR algebra, checked above.
+}
+
+TEST(ShortestPathAlgebra, AddsWeightsAndIsIsotone) {
+  ShortestPathAlgebra sp;
+  EXPECT_EQ(sp.extend(5, 10), 15u);
+  EXPECT_TRUE(sp.prefer(3, 7));
+  EXPECT_TRUE(is_isotone(sp));
+  EXPECT_EQ(sp.extend(5, kUnreachable), kUnreachable);
+}
+
+TEST(TableAlgebra, ValidatesMaps) {
+  EXPECT_THROW(TableAlgebra({"a"}, {{0, 1}}), std::invalid_argument);
+  EXPECT_THROW(TableAlgebra({"a", "b"}, {{0, 5}}), std::invalid_argument);
+  const TableAlgebra ok({"a", "b"}, {{1, kUnreachable}});
+  EXPECT_EQ(ok.extend(0, 0), 1u);
+  EXPECT_EQ(ok.extend(0, 1), kUnreachable);
+}
+
+TEST(TableAlgebra, Figure3AlgebraIsNotIsotone) {
+  const auto alg = testing::Figure3::algebra_instance();
+  const auto violation = find_isotonicity_violation(alg);
+  ASSERT_TRUE(violation.has_value());
+  // The non-isotone label is u3's export policy towards u5 (customer routes
+  // blocked, provider routes passed).
+  EXPECT_EQ(violation->label, testing::Figure3::kU3ToU5);
+}
+
+TEST(StrictAbsorbency, CustomerProviderCycleViolates) {
+  // A cycle where each node is a customer of the next: every node learns
+  // with the "from provider" label.  Condition (1) fails (e.g. all-provider
+  // assignment), which is why the GR correctness condition bans such
+  // cycles (§2).
+  GrAlgebra gr;
+  const std::vector<LabelId> cycle{kFromProv, kFromProv, kFromProv};
+  const auto witness = find_absorbency_violation(gr, cycle);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_FALSE(is_strictly_absorbent(gr, cycle));
+}
+
+TEST(StrictAbsorbency, ValleyFreeCyclesAreAbsorbent) {
+  GrAlgebra gr;
+  // A provider-customer chain closed with a "from customer" hop: around the
+  // cycle one node is always the top provider and prefers its customer
+  // route.
+  EXPECT_TRUE(is_strictly_absorbent(gr, {kFromProv, kFromProv, kFromCust}));
+  EXPECT_TRUE(is_strictly_absorbent(gr, {kFromCust, kFromCust, kFromProv}));
+  EXPECT_TRUE(is_strictly_absorbent(gr, {kFromCust, kFromPeer, kFromProv}));
+  // All-peer cycles: peer routes are not re-exported to peers, so the cycle
+  // absorbs.
+  EXPECT_TRUE(is_strictly_absorbent(gr, {kFromPeer, kFromPeer, kFromPeer}));
+}
+
+TEST(StrictAbsorbency, TwoNodeProviderLoop) {
+  GrAlgebra gr;
+  // Mutual providers (a 2-cycle of "from provider" labels) would never
+  // absorb; mutual customer/provider does.
+  EXPECT_FALSE(is_strictly_absorbent(gr, {kFromProv, kFromProv}));
+  EXPECT_TRUE(is_strictly_absorbent(gr, {kFromProv, kFromCust}));
+}
+
+TEST(GrPathVectorAlgebra, ElectionIgnoresPathIdentity) {
+  using PV = GrPathVectorAlgebra;
+  PV alg;
+  const Attr a = PV::make(GrClass::kCustomer, 2, 0x1234);
+  const Attr b = PV::make(GrClass::kCustomer, 2, 0x4321);
+  // Same class and length: neither is preferred, but the values differ —
+  // a path change propagates without changing the election.
+  EXPECT_FALSE(alg.prefer(a, b));
+  EXPECT_FALSE(alg.prefer(b, a));
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(alg.prefer(PV::make(GrClass::kCustomer, 1, 9), a));
+  EXPECT_TRUE(alg.prefer(a, PV::make(GrClass::kPeer, 0, 0)));
+  EXPECT_TRUE(alg.prefer(a, kUnreachable));
+}
+
+TEST(GrPathVectorAlgebra, ExtendFollowsGrRulesAndMixesLinkId) {
+  using PV = GrPathVectorAlgebra;
+  PV alg;
+  const Attr cust = PV::make(GrClass::kCustomer, 1, 7);
+  const auto l1 = PV::make_label(10, GrLabel::kFromCustomer);
+  const auto l2 = PV::make_label(11, GrLabel::kFromCustomer);
+  const Attr via1 = alg.extend(l1, cust);
+  const Attr via2 = alg.extend(l2, cust);
+  EXPECT_EQ(PV::class_of(via1), GrClass::kCustomer);
+  EXPECT_EQ(PV::path_length_of(via1), 2u);
+  // Different links leave different path identities.
+  EXPECT_NE(via1, via2);
+  EXPECT_EQ(PV::path_length_of(via2), 2u);
+  // Export restrictions match plain GR.
+  EXPECT_EQ(alg.extend(PV::make_label(10, GrLabel::kFromPeer),
+                       PV::make(GrClass::kProvider, 1, 0)),
+            kUnreachable);
+  EXPECT_EQ(alg.extend(l1, kUnreachable), kUnreachable);
+}
+
+TEST(PolicyFamilies, GrWithSiblingsIsIsotone) {
+  // §3.3 cites routing policies with siblings (Liao et al.) as another
+  // isotone family DRAGON is optimal under.
+  const auto alg = TableAlgebra::gao_rexford_with_siblings();
+  EXPECT_TRUE(is_isotone(alg));
+  // The sibling label is the identity on reachable attributes.
+  EXPECT_EQ(alg.extend(3, 0), 0u);
+  EXPECT_EQ(alg.extend(3, 1), 1u);
+  EXPECT_EQ(alg.extend(3, 2), 2u);
+  // The GR sub-labels behave exactly like GrAlgebra.
+  GrAlgebra gr;
+  for (LabelId l : {0, 1, 2}) {
+    for (Attr a : {0u, 1u, 2u}) {
+      EXPECT_EQ(alg.extend(l, a), gr.extend(l, a));
+    }
+  }
+}
+
+TEST(PolicyFamilies, NextHopPoliciesAreIsotone) {
+  // §3.3 cites next-hop routing (Schapira et al.) as isotone: labels are
+  // constant maps, so preference order is trivially preserved.
+  for (std::size_t ranks : {2u, 3u, 5u}) {
+    const auto alg = TableAlgebra::next_hop(ranks);
+    EXPECT_TRUE(is_isotone(alg)) << ranks;
+    for (std::size_t l = 0; l < ranks; ++l) {
+      for (std::size_t a = 0; a < ranks; ++a) {
+        EXPECT_EQ(alg.extend(static_cast<LabelId>(l),
+                             static_cast<Attr>(a)),
+                  static_cast<Attr>(l));
+      }
+    }
+  }
+}
+
+class RandomAlgebraProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomAlgebraProperty, IsotonicityWitnessIsGenuine) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto alg = TableAlgebra::random(rng, 4, 3, 0.2);
+    const auto violation = find_isotonicity_violation(alg);
+    if (violation) {
+      // Re-check the reported witness by hand.
+      EXPECT_TRUE(alg.prefer_eq(violation->preferred, violation->less_preferred));
+      const Attr ea = alg.extend(violation->label, violation->preferred);
+      const Attr eb = alg.extend(violation->label, violation->less_preferred);
+      EXPECT_FALSE(alg.prefer_eq(ea, eb));
+    } else {
+      // Exhaustively confirm isotonicity.
+      for (LabelId l : alg.label_support()) {
+        for (Attr a : alg.attribute_support()) {
+          for (Attr b : alg.attribute_support()) {
+            if (alg.prefer_eq(a, b)) {
+              EXPECT_TRUE(alg.prefer_eq(alg.extend(l, a), alg.extend(l, b)));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAlgebraProperty,
+                         ::testing::Values(21, 22, 23, 24));
+
+}  // namespace
+}  // namespace dragon::algebra

@@ -1,0 +1,154 @@
+#include "addressing/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "prefix/prefix_forest.hpp"
+#include "topology/ancestry.hpp"
+#include "topology/generator.hpp"
+
+namespace dragon::addressing {
+namespace {
+
+using topology::GeneratedTopology;
+using topology::GeneratorParams;
+using topology::NodeId;
+
+GeneratedTopology small_topo(std::uint64_t seed) {
+  GeneratorParams params;
+  params.tier1_count = 4;
+  params.transit_count = 40;
+  params.stub_count = 200;
+  params.seed = seed;
+  return topology::generate_internet(params);
+}
+
+TEST(Assignment, DeterministicPerSeed) {
+  const auto topo = small_topo(1);
+  AssignmentParams params;
+  params.seed = 9;
+  const auto a = generate_assignment(topo, params);
+  const auto b = generate_assignment(topo, params);
+  EXPECT_EQ(a.prefixes, b.prefixes);
+  EXPECT_EQ(a.origin, b.origin);
+  params.seed = 10;
+  const auto c = generate_assignment(topo, params);
+  EXPECT_NE(a.prefixes, c.prefixes);
+}
+
+TEST(Assignment, EveryAsAnnouncesSomething) {
+  const auto topo = small_topo(2);
+  const auto assignment = generate_assignment(topo, {});
+  std::vector<int> per_as(topo.graph.node_count(), 0);
+  for (NodeId u : assignment.origin) ++per_as[u];
+  for (NodeId u = 0; u < topo.graph.node_count(); ++u) {
+    EXPECT_GE(per_as[u], 1) << "AS " << u;
+  }
+}
+
+TEST(Assignment, CleanByConstruction) {
+  // Without injected anomalies, the paper's cleaning rules remove nothing:
+  // no multi-origin prefixes, and every child's parent is originated by the
+  // same AS or a direct/indirect provider.
+  const auto topo = small_topo(3);
+  const auto assignment = generate_assignment(topo, {});
+  AssignmentCleanReport report;
+  const auto cleaned = clean_assignment(topo.graph, assignment, &report);
+  EXPECT_EQ(report.removed_multi_origin, 0u);
+  EXPECT_EQ(report.removed_foreign_parent, 0u);
+  EXPECT_EQ(cleaned.size(), assignment.size());
+}
+
+TEST(Assignment, ParentChainInvariant) {
+  const auto topo = small_topo(4);
+  const auto assignment = generate_assignment(topo, {});
+  prefix::PrefixForest forest(assignment.prefixes);
+  topology::AncestryCache ancestry(topo.graph);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const auto parent = forest.parent(i);
+    if (parent == prefix::PrefixForest::kNone) continue;
+    const NodeId child_origin = assignment.origin[i];
+    const NodeId parent_origin =
+        assignment.origin[static_cast<std::size_t>(parent)];
+    EXPECT_TRUE(child_origin == parent_origin ||
+                ancestry.is_ancestor(parent_origin, child_origin))
+        << assignment.prefixes[i].to_cidr();
+  }
+}
+
+TEST(Assignment, AnomaliesAreInjectedAndCleaned) {
+  const auto topo = small_topo(5);
+  AssignmentParams params;
+  params.anomaly_rate = 0.1;
+  const auto dirty = generate_assignment(topo, params);
+  AssignmentCleanReport report;
+  const auto cleaned = clean_assignment(topo.graph, dirty, &report);
+  EXPECT_GT(report.removed_multi_origin + report.removed_foreign_parent, 0u);
+  EXPECT_LT(cleaned.size(), dirty.size());
+  // Cleaning is idempotent.
+  AssignmentCleanReport report2;
+  const auto cleaned2 = clean_assignment(topo.graph, cleaned, &report2);
+  EXPECT_EQ(report2.removed_multi_origin, 0u);
+  EXPECT_EQ(report2.removed_foreign_parent, 0u);
+  EXPECT_EQ(cleaned2.size(), cleaned.size());
+}
+
+TEST(Assignment, StatsRoughlyMatchPaperShape) {
+  const auto topo = small_topo(6);
+  const auto assignment = generate_assignment(topo, {});
+  const auto stats = compute_stats(assignment, topo.graph.node_count());
+
+  // §5.1 anchors: median 2 prefixes per AS; ~50% parentless; 83% of
+  // children share the parent's origin.  Tolerances are generous — the
+  // bench reports the precise numbers.
+  EXPECT_GE(stats.median_per_as, 1.0);
+  EXPECT_LE(stats.median_per_as, 4.0);
+  EXPECT_GT(stats.p95_per_as, stats.median_per_as);
+  const double parentless_fraction =
+      static_cast<double>(stats.parentless) /
+      static_cast<double>(stats.total_prefixes);
+  EXPECT_GT(parentless_fraction, 0.25);
+  EXPECT_LT(parentless_fraction, 0.75);
+  const double same_origin_fraction =
+      static_cast<double>(stats.same_origin_as_parent) /
+      static_cast<double>(stats.with_parent);
+  EXPECT_GT(same_origin_fraction, 0.6);
+  EXPECT_GT(stats.non_trivial_trees, 0u);
+  EXPECT_GE(stats.median_tree_size, 2.0);
+}
+
+TEST(Assignment, PrefixesAreUniqueWithoutAnomalies) {
+  const auto topo = small_topo(7);
+  const auto assignment = generate_assignment(topo, {});
+  std::unordered_set<prefix::Prefix> seen;
+  for (const auto& p : assignment.prefixes) {
+    EXPECT_TRUE(seen.insert(p).second) << p.to_cidr();
+  }
+}
+
+TEST(Assignment, RegionalPoolsKeepPiPrefixesRegional) {
+  // PI blocks come from the owner's regional pool: the first region_bits of
+  // a parentless prefix identify a region.
+  const auto topo = small_topo(8);
+  const auto assignment = generate_assignment(topo, {});
+  prefix::PrefixForest forest(assignment.prefixes);
+  int region_bits = 0;
+  std::uint32_t regions = 1;
+  std::uint32_t max_region = 0;
+  for (auto r : topo.region) max_region = std::max(max_region, r);
+  while (regions < max_region + 1) {
+    regions <<= 1;
+    ++region_bits;
+  }
+  for (std::int32_t r : forest.roots()) {
+    const auto& p = assignment.prefixes[static_cast<std::size_t>(r)];
+    const auto region =
+        p.bits() >> (prefix::kAddressBits - region_bits);
+    EXPECT_EQ(region, topo.region[assignment.origin[static_cast<std::size_t>(r)]]);
+  }
+}
+
+}  // namespace
+}  // namespace dragon::addressing

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algebra/gr_algebra.hpp"
+#include "dragon/consistency.hpp"
+#include "dragon/deaggregation.hpp"
+#include "dragon/deployment.hpp"
+#include "dragon/filtering.hpp"
+#include "paper_networks.hpp"
+#include "routecomp/gr_sweep.hpp"
+#include "topology/generator.hpp"
+#include "util/rng.hpp"
+
+namespace dragon::core {
+namespace {
+
+using algebra::Attr;
+using algebra::attr;
+using algebra::GrAlgebra;
+using algebra::GrClass;
+using algebra::kUnreachable;
+using routecomp::LabeledNetwork;
+using topology::NodeId;
+using F1 = testing::Figure1;
+
+constexpr Attr kCust = attr(GrClass::kCustomer);
+constexpr Attr kPeerA = attr(GrClass::kPeer);
+constexpr Attr kProv = attr(GrClass::kProvider);
+
+TEST(CodeCr, DecisionTable) {
+  GrAlgebra gr;
+  // Equal attributes: filter.
+  EXPECT_TRUE(cr_filters(gr, kCust, kCust, false));
+  // q less preferred than p: filter ("all the more reason", §3.1).
+  EXPECT_TRUE(cr_filters(gr, kProv, kCust, false));
+  // q preferred to p: keep.
+  EXPECT_FALSE(cr_filters(gr, kCust, kProv, false));
+  // The origin of p never filters.
+  EXPECT_TRUE(cr_filters(gr, kCust, kCust, false));
+  EXPECT_FALSE(cr_filters(gr, kCust, kCust, true));
+  // Nothing to filter / no fallback.
+  EXPECT_FALSE(cr_filters(gr, kUnreachable, kCust, false));
+  EXPECT_FALSE(cr_filters(gr, kCust, kUnreachable, false));
+}
+
+TEST(CodeCr, SlackVariant) {
+  using algebra::GrPathAlgebra;
+  const Attr q_c3 = GrPathAlgebra::make(GrClass::kCustomer, 3);
+  const Attr p_c5 = GrPathAlgebra::make(GrClass::kCustomer, 5);
+  const Attr p_peer = GrPathAlgebra::make(GrClass::kPeer, 2);
+  // Classes equal, q shorter by 2: filtered iff X >= 2.
+  EXPECT_FALSE(cr_filters_slack(q_c3, p_c5, 0, false));
+  EXPECT_FALSE(cr_filters_slack(q_c3, p_c5, 1, false));
+  EXPECT_TRUE(cr_filters_slack(q_c3, p_c5, 2, false));
+  EXPECT_TRUE(cr_filters_slack(q_c3, p_c5, -1, false));  // X = infinity
+  // q class better than p class: never filtered.
+  EXPECT_FALSE(cr_filters_slack(q_c3, p_peer, -1, false));
+  // q class worse: always filtered.
+  EXPECT_TRUE(cr_filters_slack(p_peer, q_c3, 0, false));
+  // Origin of p exempt.
+  EXPECT_FALSE(cr_filters_slack(q_c3, p_c5, -1, true));
+}
+
+TEST(RuleRa, Definition) {
+  GrAlgebra gr;
+  // p's attribute must be equal or less preferred than the elected q-route.
+  EXPECT_TRUE(ra_allows(gr, kCust, kCust));
+  EXPECT_TRUE(ra_allows(gr, kProv, kCust));
+  EXPECT_FALSE(ra_allows(gr, kCust, kProv));  // Figure 2's violation
+  EXPECT_TRUE(ra_violated(gr, kCust, kProv));
+}
+
+TEST(DragonPair, Figure1OptimalState) {
+  const auto topo = F1::topology();
+  const auto net = LabeledNetwork::from_topology(topo);
+  GrAlgebra gr;
+  const auto run = run_dragon_pair(gr, net, F1::origin_p, kCust,
+                                   F1::origin_q, kCust);
+  ASSERT_TRUE(run.converged);
+
+  // §3.1's walkthrough: u2 and u5 filter; u1 ends up oblivious; u3, u4, u6
+  // keep q.
+  EXPECT_TRUE(run.filters[F1::u2]);
+  EXPECT_TRUE(run.filters[F1::u5]);
+  EXPECT_TRUE(run.oblivious[F1::u1]);
+  EXPECT_FALSE(run.filters[F1::u1]);
+  EXPECT_FALSE(run.filters[F1::u3]);
+  EXPECT_FALSE(run.filters[F1::u4]);
+  EXPECT_FALSE(run.filters[F1::u6]);
+
+  const auto forgo = run.forgo();
+  EXPECT_EQ(std::count(forgo.begin(), forgo.end(), 1), 3);
+
+  // The state is route consistent and optimal (Theorem 4).
+  const auto report = check_route_consistency(gr, run);
+  EXPECT_TRUE(report.route_consistent);
+  EXPECT_TRUE(is_optimal(gr, run, F1::origin_p));
+
+  // And correct: every node still delivers to q (Theorem 2).
+  const auto delivery =
+      check_delivery(gr, net, run, F1::origin_p, F1::origin_q);
+  EXPECT_TRUE(delivery.all_delivered());
+}
+
+TEST(DragonPair, Figure2RaViolationCreatesBlackHole) {
+  // u3 originates p with a customer route although it elects only a
+  // provider q-route, violating rule RA; u2 filters q and u3 becomes a
+  // black hole for q-destined packets (§3.2).
+  const auto topo = testing::Figure2::topology();
+  const auto net = LabeledNetwork::from_topology(topo);
+  using F2 = testing::Figure2;
+  GrAlgebra gr;
+  const auto run = run_dragon_pair(gr, net, F2::origin_p, kCust,
+                                   F2::origin_q, kCust);
+  ASSERT_TRUE(run.converged);
+  EXPECT_TRUE(run.filters[F2::u2]);
+  const auto delivery =
+      check_delivery(gr, net, run, F2::origin_p, F2::origin_q);
+  EXPECT_EQ(delivery.outcome[F2::u3], Delivery::kBlackHole);
+  EXPECT_EQ(delivery.outcome[F2::u4], Delivery::kBlackHole);
+}
+
+TEST(DragonPair, Figure2RaCompliantOriginationIsSafe) {
+  // If u3 instead originates p with a provider route (the RA-compliant
+  // choice), only u4 learns p, it may filter q, and delivery still works.
+  const auto topo = testing::Figure2::topology();
+  const auto net = LabeledNetwork::from_topology(topo);
+  using F2 = testing::Figure2;
+  GrAlgebra gr;
+  ASSERT_TRUE(ra_allows(gr, kProv, kProv));
+  const auto run = run_dragon_pair(gr, net, F2::origin_p, kProv,
+                                   F2::origin_q, kCust);
+  ASSERT_TRUE(run.converged);
+  // u4 elects provider routes for both p and q, so it filters q.
+  EXPECT_TRUE(run.filters[F2::u4]);
+  const auto delivery =
+      check_delivery(gr, net, run, F2::origin_p, F2::origin_q);
+  EXPECT_TRUE(delivery.all_delivered());
+}
+
+TEST(DragonPair, Figure3NonIsotoneBreaksRouteConsistency) {
+  const auto alg = testing::Figure3::algebra_instance();
+  const auto net = testing::Figure3::network();
+  using F3 = testing::Figure3;
+  const auto run = run_dragon_pair(alg, net, F3::origin_p, F3::kCust,
+                                   F3::origin_q, F3::kCust);
+  ASSERT_TRUE(run.converged);
+  // Before DRAGON: u5's q-route comes from its less preferred provider u1,
+  // its p-route from the preferred provider u3 (§3.3).
+  EXPECT_EQ(run.q_before.attr[F3::u5], F3::kProvLess);
+  EXPECT_EQ(run.p.attr[F3::u5], F3::kProvPref);
+  // After everyone runs CR, u5 forwards q-traffic along the p-route:
+  // a different attribute -> not route consistent.
+  const auto report = check_route_consistency(alg, run);
+  EXPECT_FALSE(report.route_consistent);
+  EXPECT_NE(std::find(report.violations.begin(), report.violations.end(),
+                      F3::u5),
+            report.violations.end());
+}
+
+TEST(PartialDeployment, Figure4PdOrderIsConsistentThroughout) {
+  const auto topo = testing::Figure4::topology();
+  const auto net = LabeledNetwork::from_topology(topo);
+  using F4 = testing::Figure4;
+  GrAlgebra gr;
+
+  const auto q_state = routecomp::gr_sweep(topo, F4::origin_q);
+  // §3.4: u3 elects a peer q-route; u2 and u4 elect customer q-routes.
+  EXPECT_EQ(q_state.cls[F4::u3], routecomp::kPeer);
+  EXPECT_EQ(q_state.cls[F4::u2], routecomp::kCustomer);
+  EXPECT_EQ(q_state.cls[F4::u4], routecomp::kCustomer);
+
+  const auto order = pd_order(topo, q_state);
+  ASSERT_EQ(order.size(), topo.node_count());
+  // Condition PD: u2 (provider) must appear before its customer u4.
+  const auto pos = [&](NodeId u) {
+    return std::find(order.begin(), order.end(), u) - order.begin();
+  };
+  EXPECT_LT(pos(F4::u2), pos(F4::u4));
+  EXPECT_LT(pos(F4::u3), pos(F4::u2));  // peer-electing nodes first
+
+  const auto staged = staged_deployment(gr, net, F4::origin_p, kCust,
+                                        F4::origin_q, kCust, order);
+  EXPECT_TRUE(staged.all_stages_consistent());
+}
+
+TEST(PartialDeployment, Figure4ViolatingOrderBreaksAnIntermediateStage) {
+  const auto topo = testing::Figure4::topology();
+  const auto net = LabeledNetwork::from_topology(topo);
+  using F4 = testing::Figure4;
+  GrAlgebra gr;
+  // u4 adopting first (violating PD) yields a non-route-consistent stage:
+  // u2's q-route degrades from customer to peer (§3.4, right of Fig. 4).
+  const std::vector<NodeId> order{F4::u4, F4::u3, F4::u2, F4::u1, F4::u5,
+                                  F4::u6};
+  const auto staged = staged_deployment(gr, net, F4::origin_p, kCust,
+                                        F4::origin_q, kCust, order);
+  EXPECT_FALSE(staged.all_stages_consistent());
+  // Stage 1 (only u4 deployed) is the broken one.
+  EXPECT_FALSE(staged.stage_route_consistent[1]);
+  // Full deployment is consistent again.
+  EXPECT_TRUE(staged.stage_route_consistent.back());
+}
+
+TEST(Deaggregation, PaperExample) {
+  const auto p = *prefix::Prefix::from_bit_string("10");
+  const auto q = *prefix::Prefix::from_bit_string("10000");
+  const prefix::Prefix missing[1] = {q};
+  const auto pieces = deaggregate_excluding(p, missing);
+  std::vector<std::string> got;
+  for (const auto& piece : pieces) got.push_back(piece.to_bit_string());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<std::string>{"10001", "1001", "101"}));
+}
+
+TEST(Deaggregation, MultipleMissing) {
+  const auto p = *prefix::Prefix::from_bit_string("1");
+  const prefix::Prefix missing[2] = {
+      *prefix::Prefix::from_bit_string("100"),
+      *prefix::Prefix::from_bit_string("111")};
+  const auto pieces = deaggregate_excluding(p, missing);
+  std::uint64_t total = 0;
+  for (const auto& piece : pieces) {
+    EXPECT_TRUE(p.covers(piece));
+    for (const auto& m : missing) {
+      EXPECT_FALSE(piece.covers(m));
+      EXPECT_FALSE(m.covers(piece));
+    }
+    total += piece.size();
+  }
+  EXPECT_EQ(total, p.size() - missing[0].size() - missing[1].size());
+}
+
+TEST(Deaggregation, MissingEverythingYieldsNothing) {
+  const auto p = *prefix::Prefix::from_bit_string("10");
+  const prefix::Prefix missing[1] = {p};
+  EXPECT_TRUE(deaggregate_excluding(p, missing).empty());
+}
+
+class IsotoneOptimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IsotoneOptimality, RandomGrNetworksReachOptimalConsistentStates) {
+  // Theorem 4 as a property test: on random Internet-like topologies with
+  // the (isotone) GR algebra, the CR fixpoint is route consistent, optimal,
+  // and delivers every packet.
+  topology::GeneratorParams params;
+  params.tier1_count = 3;
+  params.transit_count = 12;
+  params.stub_count = 35;
+  params.seed = GetParam();
+  const auto gen = topology::generate_internet(params);
+  const auto net = LabeledNetwork::from_topology(gen.graph);
+  GrAlgebra gr;
+  util::Rng rng(GetParam() * 77 + 1);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    // Pick an origin of p and delegate q to a node in p's customer cone
+    // (the realistic alignment; rule RA then holds with customer routes).
+    const auto tp = static_cast<NodeId>(rng.below(gen.graph.node_count()));
+    // Customer cone of tp via BFS down provider->customer links.
+    std::vector<NodeId> cone;
+    std::vector<char> in_cone(gen.graph.node_count(), 0);
+    std::vector<NodeId> frontier{tp};
+    in_cone[tp] = 1;
+    while (!frontier.empty()) {
+      const NodeId x = frontier.back();
+      frontier.pop_back();
+      cone.push_back(x);
+      for (const auto& nb : gen.graph.neighbors(x)) {
+        if (nb.rel == topology::Rel::kCustomer && !in_cone[nb.id]) {
+          in_cone[nb.id] = 1;
+          frontier.push_back(nb.id);
+        }
+      }
+    }
+    const NodeId tq = cone[rng.below(cone.size())];
+
+    const auto run = run_dragon_pair(gr, net, tp, kCust, tq, kCust);
+    ASSERT_TRUE(run.converged);
+    EXPECT_TRUE(check_route_consistency(gr, run).route_consistent);
+    EXPECT_TRUE(is_optimal(gr, run, tp));
+    EXPECT_TRUE(check_delivery(gr, net, run, tp, tq).all_delivered());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsotoneOptimality,
+                         ::testing::Values(41, 42, 43, 44, 45));
+
+}  // namespace
+}  // namespace dragon::core

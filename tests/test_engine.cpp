@@ -1,0 +1,452 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algebra/gr_path_algebra.hpp"
+#include "engine/event_queue.hpp"
+#include "engine/simulator.hpp"
+#include "paper_networks.hpp"
+#include "routecomp/gr_sweep.hpp"
+#include "topology/generator.hpp"
+
+namespace dragon::engine {
+namespace {
+
+using algebra::GrClass;
+using algebra::GrPathAlgebra;
+using prefix::Prefix;
+using topology::NodeId;
+using F1 = testing::Figure1;
+
+Prefix bp(const char* s) { return *Prefix::from_bit_string(s); }
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrderWithFifoTies) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(2.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(1.0, [&] { order.push_back(2); });
+  while (!queue.empty()) queue.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&] {
+    ++fired;
+    queue.schedule(2.0, [&] { ++fired; });
+  });
+  EXPECT_EQ(queue.run_until(10.0), 2u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&] { ++fired; });
+  queue.schedule(5.0, [&] { ++fired; });
+  EXPECT_EQ(queue.run_until(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(queue.empty());
+}
+
+TEST(EventQueue, PastSchedulesClampToNow) {
+  EventQueue queue;
+  double seen = -1;
+  queue.schedule(5.0, [&] {
+    queue.schedule(1.0, [&] { seen = queue.now(); });  // in the past
+  });
+  queue.run_until(100.0);
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator: plain BGP behaviour
+// ---------------------------------------------------------------------------
+
+Config bgp_config() {
+  Config config;
+  config.mrai = 0.5;  // keep tests fast; ratios preserved
+  config.link_delay = 0.01;
+  config.enable_dragon = false;
+  return config;
+}
+
+Config dragon_config() {
+  Config config = bgp_config();
+  config.enable_dragon = true;
+  config.l_attr = [](algebra::Attr a) {
+    return static_cast<std::uint32_t>(GrPathAlgebra::class_of(a));
+  };
+  return config;
+}
+
+constexpr algebra::Attr kOriginAttr =
+    GrPathAlgebra::make(GrClass::kCustomer, 0);
+
+TEST(Simulator, ConvergesToSweepState) {
+  const auto topo = F1::topology();
+  GrPathAlgebra alg;
+  Simulator sim(topo, alg, bgp_config());
+  sim.originate(bp("10"), F1::origin_p, kOriginAttr);
+  sim.run_until_quiescent();
+
+  const auto sweep = routecomp::gr_sweep(topo, F1::origin_p);
+  for (NodeId u = 0; u < topo.node_count(); ++u) {
+    const auto got = sim.elected(u, bp("10"));
+    ASSERT_NE(got, algebra::kUnreachable) << u;
+    EXPECT_EQ(static_cast<std::uint8_t>(GrPathAlgebra::class_of(got)),
+              sweep.cls[u])
+        << u;
+    EXPECT_EQ(GrPathAlgebra::path_length_of(got), sweep.dist[u]) << u;
+  }
+  EXPECT_GT(sim.stats().announcements, 0u);
+  EXPECT_EQ(sim.stats().withdrawals, 0u);
+}
+
+TEST(Simulator, TraceDeliversAlongHierarchy) {
+  const auto topo = F1::topology();
+  GrPathAlgebra alg;
+  Simulator sim(topo, alg, bgp_config());
+  sim.originate(bp("10"), F1::origin_p, kOriginAttr);
+  sim.run_until_quiescent();
+
+  for (NodeId u = 0; u < topo.node_count(); ++u) {
+    const auto result = sim.trace(u, bp("10").first_address());
+    EXPECT_EQ(result.outcome, Simulator::Outcome::kDelivered) << u;
+    EXPECT_EQ(result.path.back(), F1::origin_p);
+  }
+  // An address outside the announced prefix black-holes.
+  EXPECT_EQ(sim.trace(F1::u1, bp("01").first_address()).outcome,
+            Simulator::Outcome::kBlackHole);
+}
+
+TEST(Simulator, LinkFailureReconvergesToNewStableState) {
+  const auto topo = F1::topology();
+  GrPathAlgebra alg;
+  Simulator sim(topo, alg, bgp_config());
+  sim.originate(bp("10"), F1::origin_q, kOriginAttr);  // q at u6
+  sim.run_until_quiescent();
+  sim.reset_stats();
+
+  // Fail {u3, u6}: u3 loses its customer route and must go via u2.
+  sim.fail_link(F1::u3, F1::u6);
+  sim.run_until_quiescent();
+  EXPECT_GT(sim.stats().updates(), 0u);
+
+  auto failed_topo = F1::topology();
+  failed_topo.remove_link(F1::u3, F1::u6);
+  const auto sweep = routecomp::gr_sweep(failed_topo, F1::origin_q);
+  for (NodeId u = 0; u < topo.node_count(); ++u) {
+    const auto got = sim.elected(u, bp("10"));
+    EXPECT_EQ(static_cast<std::uint8_t>(GrPathAlgebra::class_of(got)),
+              sweep.cls[u])
+        << u;
+  }
+  // Delivery still works everywhere.
+  for (NodeId u = 0; u < topo.node_count(); ++u) {
+    EXPECT_EQ(sim.trace(u, bp("10").first_address()).outcome,
+              Simulator::Outcome::kDelivered);
+  }
+}
+
+TEST(Simulator, LinkRestorationRecoversOriginalState) {
+  const auto topo = F1::topology();
+  GrPathAlgebra alg;
+  Simulator sim(topo, alg, bgp_config());
+  sim.originate(bp("10"), F1::origin_q, kOriginAttr);
+  sim.run_until_quiescent();
+  const auto before = sim.elected(F1::u3, bp("10"));
+
+  sim.fail_link(F1::u3, F1::u6);
+  sim.run_until_quiescent();
+  EXPECT_NE(sim.elected(F1::u3, bp("10")), before);
+
+  sim.restore_link(F1::u3, F1::u6);
+  sim.run_until_quiescent();
+  EXPECT_EQ(sim.elected(F1::u3, bp("10")), before);
+}
+
+TEST(Simulator, SnapshotRestoreReproducesTrialsExactly) {
+  const auto topo = F1::topology();
+  GrPathAlgebra alg;
+  Simulator sim(topo, alg, bgp_config());
+  sim.originate(bp("10"), F1::origin_q, kOriginAttr);
+  sim.run_until_quiescent();
+  const auto snap = sim.snapshot();
+
+  sim.reset_stats();
+  sim.fail_link(F1::u4, F1::u6);
+  sim.run_until_quiescent();
+  const auto first_updates = sim.stats().updates();
+
+  sim.restore(snap);
+  sim.reset_stats();
+  sim.fail_link(F1::u4, F1::u6);
+  sim.run_until_quiescent();
+  EXPECT_EQ(sim.stats().updates(), first_updates);
+}
+
+TEST(Simulator, WithdrawOriginRemovesPrefixNetworkWide) {
+  const auto topo = F1::topology();
+  GrPathAlgebra alg;
+  Simulator sim(topo, alg, bgp_config());
+  sim.originate(bp("10"), F1::origin_p, kOriginAttr);
+  sim.run_until_quiescent();
+  sim.withdraw_origin(bp("10"), F1::origin_p);
+  sim.run_until_quiescent();
+  for (NodeId u = 0; u < topo.node_count(); ++u) {
+    EXPECT_EQ(sim.elected(u, bp("10")), algebra::kUnreachable) << u;
+  }
+  EXPECT_GT(sim.stats().withdrawals, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator: DRAGON in the control loop
+// ---------------------------------------------------------------------------
+
+TEST(DragonEngine, Figure1FilteringFixpoint) {
+  const auto topo = F1::topology();
+  GrPathAlgebra alg;
+  Simulator sim(topo, alg, dragon_config());
+  sim.originate(bp("10"), F1::origin_p, kOriginAttr);     // p
+  sim.originate(bp("10000"), F1::origin_q, kOriginAttr);  // q
+  sim.run_until_quiescent();
+
+  // §3.1: u2 and u5 filter q; u1 is oblivious of q.
+  EXPECT_TRUE(sim.filtered(F1::u2, bp("10000")));
+  EXPECT_TRUE(sim.filtered(F1::u5, bp("10000")));
+  EXPECT_EQ(sim.elected(F1::u1, bp("10000")), algebra::kUnreachable);
+  EXPECT_FALSE(sim.filtered(F1::u3, bp("10000")));
+  EXPECT_FALSE(sim.filtered(F1::u4, bp("10000")));
+
+  // FIB sizes: filtering nodes hold one entry, keepers hold two.
+  EXPECT_EQ(sim.fib_size(F1::u2), 1u);
+  EXPECT_EQ(sim.fib_size(F1::u1), 1u);
+  EXPECT_EQ(sim.fib_size(F1::u3), 2u);
+
+  // Packets to q still reach u6 from everywhere (route consistency).
+  for (NodeId u = 0; u < topo.node_count(); ++u) {
+    const auto result = sim.trace(u, bp("10000").first_address());
+    EXPECT_EQ(result.outcome, Simulator::Outcome::kDelivered) << u;
+    EXPECT_EQ(result.path.back(), F1::origin_q) << u;
+  }
+  // Packets to p-not-q still reach u4 (address starting 101...).
+  const auto other = sim.trace(F1::u5, bp("101").first_address());
+  EXPECT_EQ(other.outcome, Simulator::Outcome::kDelivered);
+  EXPECT_EQ(other.path.back(), F1::origin_p);
+}
+
+TEST(DragonEngine, PeerFailureIsHandledLocally) {
+  // §3.8 first case: failing {u3, u6} does not affect the customer q-route
+  // at the origin of p (u4), so code CR alone handles it: u3 forgoes q (in
+  // the event-driven evolution its filtering upstream neighbour u2 never
+  // re-announces q, so u3 ends up oblivious — the same forgo outcome as the
+  // paper's static "u3 now filters q" reading) and no de-aggregation
+  // happens.
+  const auto topo = F1::topology();
+  GrPathAlgebra alg;
+  Simulator sim(topo, alg, dragon_config());
+  sim.originate(bp("10"), F1::origin_p, kOriginAttr);
+  sim.originate(bp("10000"), F1::origin_q, kOriginAttr);
+  sim.run_until_quiescent();
+  ASSERT_FALSE(sim.filtered(F1::u3, bp("10000")));
+  ASSERT_TRUE(sim.fib_active(F1::u3, bp("10000")));
+
+  sim.fail_link(F1::u3, F1::u6);
+  sim.run_until_quiescent();
+  EXPECT_FALSE(sim.fib_active(F1::u3, bp("10000")));  // u3 forgoes q
+  EXPECT_EQ(sim.stats().deaggregations, 0u);
+  EXPECT_TRUE(sim.originates(F1::u4, bp("10")));  // p untouched
+  for (NodeId u = 0; u < topo.node_count(); ++u) {
+    EXPECT_EQ(sim.trace(u, bp("10000").first_address()).outcome,
+              Simulator::Outcome::kDelivered)
+        << u;
+  }
+}
+
+TEST(DragonEngine, OriginFailureTriggersDeaggregation) {
+  // §3.8 second case: failing {u4, u6} leaves the origin of p without a
+  // customer q-route; RA forces u4 to withdraw p = 10 and announce the
+  // complements 10001, 1001, 101; u2 re-originates p as an aggregate.
+  const auto topo = F1::topology();
+  GrPathAlgebra alg;
+  Simulator sim(topo, alg, dragon_config());
+  sim.originate(bp("10"), F1::origin_p, kOriginAttr);
+  sim.originate(bp("10000"), F1::origin_q, kOriginAttr);
+  sim.run_until_quiescent();
+
+  sim.fail_link(F1::u4, F1::u6);
+  sim.run_until_quiescent();
+
+  EXPECT_GT(sim.stats().deaggregations, 0u);
+  // u4 no longer announces p itself...
+  EXPECT_FALSE(sim.originates(F1::u4, bp("10")));
+  // ...but announces the complement prefixes.
+  EXPECT_TRUE(sim.originates(F1::u4, bp("10001")));
+  EXPECT_TRUE(sim.originates(F1::u4, bp("1001")));
+  EXPECT_TRUE(sim.originates(F1::u4, bp("101")));
+  // u2 elects customer routes for all pieces and re-originates p (§3.8).
+  EXPECT_TRUE(sim.originates(F1::u2, bp("10")));
+  EXPECT_GT(sim.stats().agg_originations, 0u);
+
+  // Packets to q and to the rest of p still arrive.
+  for (NodeId u = 0; u < topo.node_count(); ++u) {
+    EXPECT_EQ(sim.trace(u, bp("10000").first_address()).outcome,
+              Simulator::Outcome::kDelivered)
+        << "q from " << u;
+    EXPECT_EQ(sim.trace(u, bp("101").first_address()).outcome,
+              Simulator::Outcome::kDelivered)
+        << "p-rest from " << u;
+  }
+
+  // Repairing the link re-aggregates: u4 announces p again, u2 stops.
+  sim.restore_link(F1::u4, F1::u6);
+  sim.run_until_quiescent();
+  EXPECT_GT(sim.stats().reaggregations, 0u);
+  EXPECT_TRUE(sim.originates(F1::u4, bp("10")));
+  EXPECT_FALSE(sim.originates(F1::u4, bp("101")));
+  EXPECT_FALSE(sim.originates(F1::u2, bp("10")));
+}
+
+TEST(DragonEngine, RaDowngradeWhenMoreSpecificsTileTheRoot) {
+  // §3.9 flavour: X originates p = 10, but both halves (100 and 101) are
+  // originated elsewhere and reach X only as peer routes.  Since the
+  // more-specifics tile p, rule RA is satisfied by *downgrading* the p
+  // announcement to a peer route (exported only to customers) instead of
+  // de-aggregating.
+  //   topology: X peers with Z; Z is a provider of C; W is X's customer.
+  enum : NodeId { X = 0, Z = 1, C = 2, W = 3 };
+  topology::Topology topo(4);
+  topo.add_peer_peer(X, Z);
+  topo.add_provider_customer(Z, C);
+  topo.add_provider_customer(X, W);
+
+  GrPathAlgebra alg;
+  Simulator sim(topo, alg, dragon_config());
+  // The TE halves are in place before X brings up its block (as in §3.9:
+  // u7's p0/p1 announcements exist when the providers make their RA
+  // decision for p).
+  sim.originate(bp("100"), C, kOriginAttr);
+  sim.originate(bp("101"), C, kOriginAttr);
+  sim.run_until_quiescent();
+  sim.originate(bp("10"), X, kOriginAttr);
+  sim.run_until_quiescent();
+
+  EXPECT_GT(sim.stats().downgrades, 0u);
+  EXPECT_EQ(sim.stats().deaggregations, 0u);
+  // X still announces p, but with a peer attribute: W (customer) learns it,
+  // the peer Z does not.
+  EXPECT_TRUE(sim.originates(X, bp("10")));
+  EXPECT_EQ(static_cast<GrClass>(
+                GrPathAlgebra::class_of(sim.elected(W, bp("10")))),
+            GrClass::kProvider);
+  EXPECT_EQ(sim.elected(Z, bp("10")), algebra::kUnreachable);
+  // Packets from W to either half still arrive at C.
+  for (const char* s : {"100", "101"}) {
+    const auto result = sim.trace(W, bp(s).first_address());
+    EXPECT_EQ(result.outcome, Simulator::Outcome::kDelivered) << s;
+    EXPECT_EQ(result.path.back(), C) << s;
+  }
+}
+
+TEST(DragonEngine, Figure5AnycastAggregation) {
+  // Both u3 and u4 originate the aggregate 10; u1 and u2 filter the PI
+  // prefixes (§3.7, Fig. 5).
+  const auto topo = testing::Figure5::topology();
+  using F5 = testing::Figure5;
+  GrPathAlgebra alg;
+  Simulator sim(topo, alg, dragon_config());
+  sim.originate(bp("100"), F5::t1, kOriginAttr);
+  sim.originate(bp("1010"), F5::t2, kOriginAttr);
+  sim.originate(bp("1011"), F5::t3, kOriginAttr);
+  // Watch the aggregation root: u3 and u4 discover the tiling themselves.
+  sim.watch_aggregate(bp("10"), kOriginAttr);
+  sim.run_until_quiescent();
+
+  EXPECT_TRUE(sim.originates(F5::u3, bp("10")));
+  EXPECT_TRUE(sim.originates(F5::u4, bp("10")));
+  EXPECT_TRUE(sim.filtered(F5::u1, bp("100")) ||
+              sim.elected(F5::u1, bp("100")) == algebra::kUnreachable);
+  EXPECT_TRUE(sim.filtered(F5::u2, bp("1011")) ||
+              sim.elected(F5::u2, bp("1011")) == algebra::kUnreachable);
+  // Packets still reach the PI owners.
+  EXPECT_EQ(sim.trace(F5::u1, bp("1011").first_address()).outcome,
+            Simulator::Outcome::kDelivered);
+}
+
+TEST(DragonEngine, Figure6TakeoverAndStop) {
+  // u2 can aggregate 10; u1 initially could too but learns the customer
+  // route from u2 and stands down (§3.7, Fig. 6).
+  const auto topo = testing::Figure6::topology();
+  using F6 = testing::Figure6;
+  GrPathAlgebra alg;
+  Simulator sim(topo, alg, dragon_config());
+  sim.originate(bp("100"), F6::t1, kOriginAttr);
+  sim.originate(bp("1010"), F6::t2, kOriginAttr);
+  sim.originate(bp("1011"), F6::t3, kOriginAttr);
+  sim.watch_aggregate(bp("10"), kOriginAttr);
+  sim.run_until_quiescent();
+
+  EXPECT_TRUE(sim.originates(F6::u2, bp("10")));
+  EXPECT_FALSE(sim.originates(F6::u1, bp("10")));
+  // u1 filters the PI prefixes against the aggregate it learns from u2.
+  for (const char* s : {"100", "1010", "1011"}) {
+    EXPECT_TRUE(sim.filtered(F6::u1, bp(s))) << s;
+  }
+  EXPECT_EQ(sim.trace(F6::u1, bp("1010").first_address()).outcome,
+            Simulator::Outcome::kDelivered);
+}
+
+TEST(DragonEngine, FewerUpdatesThanBgpAcrossFailures) {
+  // The headline of §5.3: across link failures that do not force
+  // de-aggregation, DRAGON exchanges fewer routes than BGP — under DRAGON
+  // only the root of a non-trivial prefix-tree has network-wide effects,
+  // while BGP re-floods every prefix of the tree.  Summed over all single
+  // link failures of a generated topology with a 5-prefix tree.
+  topology::GeneratorParams params;
+  params.tier1_count = 3;
+  params.transit_count = 12;
+  params.stub_count = 40;
+  params.seed = 5;
+  const auto gen = topology::generate_internet(params);
+  GrPathAlgebra alg;
+
+  // A prefix tree: a transit AS owns the root block and de-aggregates it
+  // for traffic engineering (same-origin children, the dominant case in
+  // the paper's dataset).
+  const NodeId owner = static_cast<NodeId>(params.tier1_count + 1);
+  const auto links = gen.graph.links();
+
+  auto run = [&](bool dragon) {
+    Simulator sim(gen.graph, alg, dragon ? dragon_config() : bgp_config());
+    sim.originate(bp("10"), owner, kOriginAttr);
+    for (const char* s : {"100", "101", "1000", "1011"}) {
+      sim.originate(bp(s), owner, kOriginAttr);
+    }
+    sim.run_until_quiescent();
+    const auto snap = sim.snapshot();
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < links.size(); i += 3) {  // sample every 3rd
+      sim.restore(snap);
+      sim.reset_stats();
+      sim.fail_link(links[i].a, links[i].b);
+      sim.run_until_quiescent();
+      if (sim.stats().deaggregations == 0) total += sim.stats().updates();
+    }
+    return total;
+  };
+  const auto bgp_total = run(false);
+  const auto dragon_total = run(true);
+  EXPECT_LT(dragon_total, bgp_total);
+  EXPECT_GT(bgp_total, 0u);
+}
+
+}  // namespace
+}  // namespace dragon::engine

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fibcomp/fib.hpp"
+#include "fibcomp/ortc.hpp"
+#include "util/rng.hpp"
+
+namespace dragon::fibcomp {
+namespace {
+
+using prefix::Prefix;
+
+Prefix bp(const char* s) { return *Prefix::from_bit_string(s); }
+
+TEST(Fib, LookupIsLongestPrefixMatch) {
+  const Fib fib{{bp("1"), 1}, {bp("10"), 2}, {bp("101"), 3}};
+  const auto trie = build_trie(fib);
+  EXPECT_EQ(lookup(trie, 0b10100000u << 24), 3u);
+  EXPECT_EQ(lookup(trie, 0b10000000u << 24), 2u);
+  EXPECT_EQ(lookup(trie, 0b11000000u << 24), 1u);
+  EXPECT_EQ(lookup(trie, 0b01000000u << 24), kDrop);
+}
+
+TEST(Fib, ForwardingEquivalence) {
+  const Fib a{{bp("1"), 1}, {bp("10"), 1}};
+  const Fib b{{bp("1"), 1}};
+  EXPECT_TRUE(forwarding_equivalent(a, b));  // the 10 entry is redundant
+  const Fib c{{bp("1"), 2}};
+  EXPECT_FALSE(forwarding_equivalent(a, c));
+  const Fib d{};
+  EXPECT_FALSE(forwarding_equivalent(a, d));
+  EXPECT_TRUE(forwarding_equivalent(d, Fib{}));
+}
+
+TEST(Conservative, RemovesRedundantChild) {
+  const Fib input{{bp("1"), 1}, {bp("10"), 1}, {bp("11"), 2}};
+  const auto out = compress_conservative(input);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(forwarding_equivalent(input, out));
+  // Output is a subset of the input.
+  for (const auto& e : out) {
+    EXPECT_NE(std::find(input.begin(), input.end(), e), input.end());
+  }
+}
+
+TEST(Conservative, RemovesShadowedParent) {
+  // The parent is fully covered by children with their own next hops.
+  const Fib input{{bp("1"), 9}, {bp("10"), 1}, {bp("11"), 2}};
+  const auto out = compress_conservative(input);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(forwarding_equivalent(input, out));
+}
+
+TEST(Conservative, KeepsNecessaryEntries) {
+  const Fib input{{bp("1"), 1}, {bp("10"), 2}};
+  const auto out = compress_conservative(input);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Ortc, MergesSiblingsWithNewAggregate) {
+  // Classic ORTC win: both children share a hop reachable by announcing
+  // the (synthesised) parent once... here the parent entry replaces both.
+  const Fib input{{bp("10"), 5}, {bp("11"), 5}};
+  const auto out = compress_ortc(input);
+  EXPECT_TRUE(forwarding_equivalent(input, out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].prefix, bp("1"));
+  EXPECT_EQ(out[0].next_hop, 5u);
+}
+
+TEST(Ortc, ClassicDravesExample) {
+  // Root default to hop 1, 00->2, 10->2: optimal is {*->2, 01->1, 11->1}
+  // or an equivalent 3-entry table.
+  const Fib input{{Prefix{}, 1}, {bp("00"), 2}, {bp("10"), 2}};
+  const auto out = compress_ortc(input);
+  EXPECT_TRUE(forwarding_equivalent(input, out));
+  EXPECT_LE(out.size(), 3u);
+}
+
+TEST(Ortc, PreservesDropRegions) {
+  // No root entry: addresses under 0 are dropped and must stay dropped.
+  const Fib input{{bp("1"), 1}, {bp("11"), 1}};
+  const auto out = compress_ortc(input);
+  EXPECT_TRUE(forwarding_equivalent(input, out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].prefix, bp("1"));
+}
+
+TEST(Ortc, NeverWorseThanConservative) {
+  util::Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    Fib fib;
+    for (int i = 0; i < 60; ++i) {
+      fib.push_back({Prefix(static_cast<prefix::Address>(rng()),
+                            1 + static_cast<int>(rng.below(10))),
+                     static_cast<NextHop>(rng.below(4))});
+    }
+    // Deduplicate prefixes (keep first).
+    Fib dedup;
+    for (const auto& e : fib) {
+      const bool seen =
+          std::any_of(dedup.begin(), dedup.end(), [&](const FibEntry& d) {
+            return d.prefix == e.prefix;
+          });
+      if (!seen) dedup.push_back(e);
+    }
+    const auto cons = compress_conservative(dedup);
+    const auto ortc = compress_ortc(dedup);
+    EXPECT_LE(ortc.size(), cons.size());
+    EXPECT_LE(cons.size(), dedup.size());
+  }
+}
+
+class FibCompressionProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FibCompressionProperty, BothPreserveForwardingExactly) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    Fib fib;
+    const int entries = 20 + static_cast<int>(rng.below(80));
+    for (int i = 0; i < entries; ++i) {
+      const Prefix p(static_cast<prefix::Address>(rng()),
+                     static_cast<int>(rng.below(14)));
+      const bool seen =
+          std::any_of(fib.begin(), fib.end(),
+                      [&](const FibEntry& d) { return d.prefix == p; });
+      if (!seen) fib.push_back({p, static_cast<NextHop>(rng.below(5))});
+    }
+    const auto cons = compress_conservative(fib);
+    EXPECT_TRUE(forwarding_equivalent(fib, cons));
+    const auto ortc = compress_ortc(fib);
+    EXPECT_TRUE(forwarding_equivalent(fib, ortc));
+    // Compression is idempotent.
+    EXPECT_EQ(compress_conservative(cons).size(), cons.size());
+    EXPECT_EQ(compress_ortc(ortc).size(), ortc.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FibCompressionProperty,
+                         ::testing::Values(51, 52, 53, 54, 55));
+
+}  // namespace
+}  // namespace dragon::fibcomp

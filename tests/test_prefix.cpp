@@ -1,0 +1,159 @@
+#include "prefix/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace dragon::prefix {
+namespace {
+
+TEST(Prefix, RootCoversEverything) {
+  const Prefix root;
+  EXPECT_EQ(root.length(), 0);
+  EXPECT_EQ(root.size(), std::uint64_t{1} << 32);
+  EXPECT_TRUE(root.contains(0u));
+  EXPECT_TRUE(root.contains(0xFFFFFFFFu));
+}
+
+TEST(Prefix, BitStringRoundTrip) {
+  for (const char* s : {"", "0", "1", "10", "10000", "101011", "11111111"}) {
+    const auto p = Prefix::from_bit_string(s);
+    ASSERT_TRUE(p.has_value()) << s;
+    EXPECT_EQ(p->to_bit_string(), s);
+  }
+}
+
+TEST(Prefix, BitStringRejectsBadInput) {
+  EXPECT_FALSE(Prefix::from_bit_string("102").has_value());
+  EXPECT_FALSE(Prefix::from_bit_string("abc").has_value());
+  EXPECT_FALSE(
+      Prefix::from_bit_string(std::string(33, '1')).has_value());
+}
+
+TEST(Prefix, CidrRoundTrip) {
+  for (const char* s :
+       {"0.0.0.0/0", "10.0.0.0/8", "10.32.0.0/12", "192.168.1.0/24",
+        "255.255.255.255/32"}) {
+    const auto p = Prefix::from_cidr(s);
+    ASSERT_TRUE(p.has_value()) << s;
+    EXPECT_EQ(p->to_cidr(), s);
+  }
+}
+
+TEST(Prefix, CidrRejectsBadInput) {
+  EXPECT_FALSE(Prefix::from_cidr("10.0.0.0").has_value());
+  EXPECT_FALSE(Prefix::from_cidr("10.0.0/8").has_value());
+  EXPECT_FALSE(Prefix::from_cidr("256.0.0.0/8").has_value());
+  EXPECT_FALSE(Prefix::from_cidr("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::from_cidr("10.0.0.0/x").has_value());
+}
+
+TEST(Prefix, CanonicalisesLowBits) {
+  // Bits below the prefix length are cleared on construction.
+  const Prefix p(0xFFFFFFFFu, 8);
+  EXPECT_EQ(p.bits(), 0xFF000000u);
+  EXPECT_EQ(p, Prefix(0xFF000000u, 8));
+}
+
+TEST(Prefix, CoversAndSpecificity) {
+  const auto p = *Prefix::from_bit_string("10");
+  const auto q = *Prefix::from_bit_string("10000");
+  EXPECT_TRUE(p.covers(q));
+  EXPECT_FALSE(q.covers(p));
+  EXPECT_TRUE(p.covers(p));
+  EXPECT_TRUE(q.more_specific_than(p));
+  EXPECT_FALSE(p.more_specific_than(q));
+  EXPECT_FALSE(p.more_specific_than(p));
+
+  const auto r = *Prefix::from_bit_string("11");
+  EXPECT_FALSE(p.covers(r));
+  EXPECT_FALSE(r.covers(p));
+}
+
+TEST(Prefix, FamilyNavigation) {
+  const auto p = *Prefix::from_bit_string("101");
+  EXPECT_EQ(p.trie_parent().to_bit_string(), "10");
+  EXPECT_EQ(p.child(0).to_bit_string(), "1010");
+  EXPECT_EQ(p.child(1).to_bit_string(), "1011");
+  EXPECT_EQ(p.sibling().to_bit_string(), "100");
+  EXPECT_EQ(p.sibling().sibling(), p);
+  EXPECT_EQ(p.bit_at(0), 1);
+  EXPECT_EQ(p.bit_at(1), 0);
+  EXPECT_EQ(p.bit_at(2), 1);
+}
+
+TEST(Prefix, OrderingIsTriePreOrder) {
+  // Sorting by (bits, length) puts a covering prefix right before its
+  // covered descendants.
+  const auto p = *Prefix::from_bit_string("10");
+  const auto q0 = *Prefix::from_bit_string("100");
+  const auto q1 = *Prefix::from_bit_string("101");
+  const auto r = *Prefix::from_bit_string("11");
+  EXPECT_LT(p, q0);
+  EXPECT_LT(q0, q1);
+  EXPECT_LT(q1, r);
+}
+
+TEST(Prefix, ComplementWithinPaperExample) {
+  // §3.8: p = 10, q = 10000 -> {10001, 1001, 101}.
+  const auto p = *Prefix::from_bit_string("10");
+  const auto q = *Prefix::from_bit_string("10000");
+  const auto pieces = complement_within(p, q);
+  ASSERT_EQ(pieces.size(), 3u);
+  std::set<std::string> got;
+  for (const auto& piece : pieces) got.insert(piece.to_bit_string());
+  EXPECT_EQ(got, (std::set<std::string>{"10001", "1001", "101"}));
+}
+
+class ComplementProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ComplementProperty, PartitionsParentMinusChild) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const int plen = static_cast<int>(rng.below(20));
+    const int qlen = plen + 1 + static_cast<int>(rng.below(10));
+    const Prefix p(static_cast<Address>(rng()), plen);
+    // Random q strictly inside p.
+    Address qbits = p.bits() | (static_cast<Address>(rng()) >>
+                                (plen == 0 ? 0 : plen));
+    const Prefix q(qbits, qlen);
+    ASSERT_TRUE(q.more_specific_than(p));
+
+    const auto pieces = complement_within(p, q);
+    EXPECT_EQ(pieces.size(), static_cast<std::size_t>(qlen - plen));
+    // Pieces + q tile p exactly: disjoint, inside p, sizes sum to p's size.
+    std::uint64_t total = q.size();
+    for (const auto& piece : pieces) {
+      EXPECT_TRUE(p.covers(piece));
+      EXPECT_FALSE(piece.covers(q));
+      EXPECT_FALSE(q.covers(piece));
+      total += piece.size();
+    }
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+        EXPECT_FALSE(pieces[i].covers(pieces[j]));
+        EXPECT_FALSE(pieces[j].covers(pieces[i]));
+      }
+    }
+    EXPECT_EQ(total, p.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComplementProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Prefix, HashDistinguishesLengths) {
+  const std::hash<Prefix> h;
+  EXPECT_NE(h(*Prefix::from_bit_string("10")),
+            h(*Prefix::from_bit_string("100")));
+}
+
+TEST(Prefix, ParsePrefixAutodetects) {
+  EXPECT_EQ(parse_prefix("10.0.0.0/8"), Prefix::from_cidr("10.0.0.0/8"));
+  EXPECT_EQ(parse_prefix("1010"), Prefix::from_bit_string("1010"));
+}
+
+}  // namespace
+}  // namespace dragon::prefix

@@ -1,0 +1,105 @@
+#include "prefix/prefix_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace dragon::prefix {
+namespace {
+
+Prefix bp(const char* s) { return *Prefix::from_bit_string(s); }
+
+TEST(PrefixForest, PaperFigure1Prefixes) {
+  // p = 10 (parentless), q = 10000 (child of p).
+  const std::vector<Prefix> prefixes{bp("10000"), bp("10")};
+  PrefixForest forest(prefixes);
+  EXPECT_EQ(forest.parent(0), 1);
+  EXPECT_EQ(forest.parent(1), PrefixForest::kNone);
+  EXPECT_EQ(forest.roots(), std::vector<std::int32_t>{1});
+  EXPECT_EQ(forest.root_of(0), 1);
+  EXPECT_EQ(forest.non_trivial_roots(), std::vector<std::int32_t>{1});
+}
+
+TEST(PrefixForest, ParentIsMostSpecificCover) {
+  const std::vector<Prefix> prefixes{bp("1"), bp("10"), bp("1000"),
+                                     bp("100000")};
+  PrefixForest forest(prefixes);
+  EXPECT_EQ(forest.parent(3), 2);  // 100000 under 1000, not under 10 or 1
+  EXPECT_EQ(forest.parent(2), 1);
+  EXPECT_EQ(forest.parent(1), 0);
+  EXPECT_EQ(forest.parent(0), PrefixForest::kNone);
+}
+
+TEST(PrefixForest, SiblingsShareParent) {
+  const std::vector<Prefix> prefixes{bp("10"), bp("100"), bp("101"),
+                                     bp("11"), bp("110")};
+  PrefixForest forest(prefixes);
+  EXPECT_EQ(forest.parent(1), 0);
+  EXPECT_EQ(forest.parent(2), 0);
+  EXPECT_EQ(forest.parent(4), 3);
+  EXPECT_EQ(forest.roots(), (std::vector<std::int32_t>{0, 3}));
+  const auto members = forest.tree_members(0);
+  EXPECT_EQ(members.size(), 3u);
+  EXPECT_EQ(members.front(), 0);  // pre-order: root first
+}
+
+TEST(PrefixForest, TrivialTreesExcluded) {
+  const std::vector<Prefix> prefixes{bp("00"), bp("01"), bp("10"),
+                                     bp("100")};
+  PrefixForest forest(prefixes);
+  EXPECT_EQ(forest.non_trivial_roots(), std::vector<std::int32_t>{2});
+}
+
+class ForestProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ForestProperty, AgreesWithQuadraticOracle) {
+  util::Rng rng(GetParam());
+  std::vector<Prefix> prefixes;
+  for (int i = 0; i < 150; ++i) {
+    const Prefix p(static_cast<Address>(rng()),
+                   1 + static_cast<int>(rng.below(14)));
+    if (std::find(prefixes.begin(), prefixes.end(), p) == prefixes.end()) {
+      prefixes.push_back(p);
+    }
+  }
+  PrefixForest forest(prefixes);
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    std::int32_t expect = PrefixForest::kNone;
+    for (std::size_t j = 0; j < prefixes.size(); ++j) {
+      if (i == j || !prefixes[j].covers(prefixes[i]) ||
+          prefixes[j] == prefixes[i]) {
+        continue;
+      }
+      if (expect == PrefixForest::kNone ||
+          prefixes[j].length() >
+              prefixes[static_cast<std::size_t>(expect)].length()) {
+        expect = static_cast<std::int32_t>(j);
+      }
+    }
+    EXPECT_EQ(forest.parent(i), expect) << prefixes[i].to_bit_string();
+    // root_of follows parent chain.
+    std::size_t walk = i;
+    while (forest.parent(walk) != PrefixForest::kNone) {
+      walk = static_cast<std::size_t>(forest.parent(walk));
+    }
+    EXPECT_EQ(forest.root_of(i), static_cast<std::int32_t>(walk));
+  }
+  // Every index appears in exactly one tree.
+  std::vector<char> seen(prefixes.size(), 0);
+  for (std::int32_t r : forest.roots()) {
+    for (std::int32_t m : forest.tree_members(r)) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(m)]);
+      seen[static_cast<std::size_t>(m)] = 1;
+    }
+  }
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), 1),
+            static_cast<std::ptrdiff_t>(prefixes.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForestProperty,
+                         ::testing::Values(7, 8, 9, 10));
+
+}  // namespace
+}  // namespace dragon::prefix

@@ -1,0 +1,174 @@
+#include "prefix/prefix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dragon::prefix {
+namespace {
+
+Prefix bp(const char* s) { return *Prefix::from_bit_string(s); }
+
+TEST(PrefixTrie, InsertFindErase) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_TRUE(trie.insert(bp("10"), 1));
+  EXPECT_TRUE(trie.insert(bp("1010"), 2));
+  EXPECT_FALSE(trie.insert(bp("10"), 3));  // overwrite, not new
+  EXPECT_EQ(trie.size(), 2u);
+
+  ASSERT_NE(trie.find(bp("10")), nullptr);
+  EXPECT_EQ(*trie.find(bp("10")), 3);
+  EXPECT_EQ(trie.find(bp("1")), nullptr);
+  EXPECT_EQ(trie.find(bp("101")), nullptr);
+
+  EXPECT_TRUE(trie.erase(bp("10")));
+  EXPECT_FALSE(trie.erase(bp("10")));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_NE(trie.find(bp("1010")), nullptr);
+}
+
+TEST(PrefixTrie, RootEntry) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix{}, 42);
+  const auto hit = trie.lookup(0x12345678u);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, Prefix{});
+  EXPECT_EQ(*hit->second, 42);
+}
+
+TEST(PrefixTrie, LongestPrefixMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(bp("10"), 1);
+  trie.insert(bp("1010"), 2);
+  trie.insert(bp("101010"), 3);
+
+  // Address starting with 101010...
+  const Address a = 0b10101011u << 24;
+  auto hit = trie.lookup(a);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit->second, 3);
+
+  // Address starting with 1011... matches only "10".
+  const Address b = 0b10110000u << 24;
+  hit = trie.lookup(b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit->second, 1);
+
+  // Address starting 0... matches nothing.
+  EXPECT_FALSE(trie.lookup(0x00000001u).has_value());
+}
+
+TEST(PrefixTrie, ParentOf) {
+  PrefixTrie<int> trie;
+  trie.insert(bp("10"), 1);
+  trie.insert(bp("1010"), 2);
+  EXPECT_EQ(trie.parent_of(bp("101010")), bp("1010"));
+  EXPECT_EQ(trie.parent_of(bp("1010")), bp("10"));
+  EXPECT_EQ(trie.parent_of(bp("10")), std::nullopt);
+  EXPECT_EQ(trie.parent_of(bp("11")), std::nullopt);
+  // parent_of never returns the prefix itself.
+  EXPECT_EQ(trie.parent_of(bp("1011")), bp("10"));
+}
+
+TEST(PrefixTrie, VisitSubtree) {
+  PrefixTrie<int> trie;
+  for (const char* s : {"0", "10", "100", "1010", "11"}) {
+    trie.insert(bp(s), 0);
+  }
+  std::vector<std::string> seen;
+  trie.visit_subtree(bp("10"), [&](const Prefix& p, const int&) {
+    seen.push_back(p.to_bit_string());
+  });
+  EXPECT_EQ(seen, (std::vector<std::string>{"10", "100", "1010"}));
+}
+
+TEST(PrefixTrie, CopyIsDeep) {
+  PrefixTrie<int> a;
+  a.insert(bp("10"), 1);
+  PrefixTrie<int> b = a;
+  b.insert(bp("11"), 2);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 2u);
+  a.erase(bp("10"));
+  EXPECT_NE(b.find(bp("10")), nullptr);
+}
+
+class TrieProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieProperty, MatchesBruteForceOracle) {
+  util::Rng rng(GetParam());
+  PrefixTrie<int> trie;
+  std::map<Prefix, int> oracle;
+  for (int step = 0; step < 400; ++step) {
+    const Prefix p(static_cast<Address>(rng()),
+                   static_cast<int>(rng.below(16)));
+    if (rng.chance(0.3) && !oracle.empty()) {
+      trie.erase(p);
+      oracle.erase(p);
+    } else {
+      const int v = static_cast<int>(rng.below(1000));
+      trie.insert(p, v);
+      oracle[p] = v;
+    }
+  }
+  EXPECT_EQ(trie.size(), oracle.size());
+
+  // Exact lookups agree.
+  for (const auto& [p, v] : oracle) {
+    ASSERT_NE(trie.find(p), nullptr);
+    EXPECT_EQ(*trie.find(p), v);
+  }
+
+  // LPM and parent queries agree with a brute-force scan.
+  for (int probe = 0; probe < 200; ++probe) {
+    const auto addr = static_cast<Address>(rng());
+    std::optional<Prefix> expect;
+    for (const auto& [p, v] : oracle) {
+      if (p.contains(addr) && (!expect || p.length() > expect->length())) {
+        expect = p;
+      }
+    }
+    const auto hit = trie.lookup(addr);
+    if (expect) {
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_EQ(hit->first, *expect);
+    } else {
+      EXPECT_FALSE(hit.has_value());
+    }
+
+    const Prefix probe_prefix(static_cast<Address>(rng()),
+                              1 + static_cast<int>(rng.below(20)));
+    std::optional<Prefix> expect_parent;
+    for (const auto& [p, v] : oracle) {
+      if (p.covers(probe_prefix) && p != probe_prefix &&
+          (!expect_parent || p.length() > expect_parent->length())) {
+        expect_parent = p;
+      }
+    }
+    EXPECT_EQ(trie.parent_of(probe_prefix), expect_parent);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieProperty,
+                         ::testing::Values(10, 20, 30, 40, 50, 60));
+
+TEST(PrefixSet, BasicOperations) {
+  PrefixSet set;
+  EXPECT_TRUE(set.insert(bp("10")));
+  EXPECT_FALSE(set.insert(bp("10")));
+  EXPECT_TRUE(set.contains(bp("10")));
+  EXPECT_EQ(set.parent_of(bp("1001")), bp("10"));
+  EXPECT_EQ(set.match(0b10010000u << 24), bp("10"));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.erase(bp("10")));
+  EXPECT_TRUE(set.empty());
+}
+
+}  // namespace
+}  // namespace dragon::prefix

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "stats/ccdf.hpp"
+#include "stats/table.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+
+namespace dragon {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed) {
+  util::Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    (void)c;
+  }
+  util::Rng a2(42), c2(43);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) differs |= a2() != c2();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  util::Rng rng(1);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  util::Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  util::Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  util::Rng rng(4);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[rng.weighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(Rng, TruncatedGeometricBounds) {
+  util::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.truncated_geometric(0.5, 4);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 4u);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  util::Rng rng(6);
+  std::vector<int> v(20);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int> expect(20);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(sorted, expect);
+}
+
+TEST(Rng, ForkIndependentButDeterministic) {
+  util::Rng a(7);
+  util::Rng fork1 = a.fork();
+  util::Rng b(7);
+  util::Rng fork2 = b.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fork1(), fork2());
+}
+
+// ---------------------------------------------------------------------------
+// Flags
+// ---------------------------------------------------------------------------
+
+TEST(Flags, ParsesAllForms) {
+  util::Flags flags;
+  flags.define("nodes", "100", "node count");
+  flags.define("rate", "0.5", "a rate");
+  flags.define("verbose", "false", "chatty");
+  flags.define("name", "x", "a name");
+
+  const char* argv[] = {"prog",      "--nodes=200", "--rate", "0.75",
+                        "--verbose", "--name=abc"};
+  ASSERT_TRUE(flags.parse(6, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.u64("nodes"), 200u);
+  EXPECT_DOUBLE_EQ(flags.f64("rate"), 0.75);
+  EXPECT_TRUE(flags.boolean("verbose"));
+  EXPECT_EQ(flags.str("name"), "abc");
+}
+
+TEST(Flags, NoPrefixDisablesBoolean) {
+  util::Flags flags;
+  flags.define("dragon", "true", "");
+  const char* argv[] = {"prog", "--no-dragon"};
+  ASSERT_TRUE(flags.parse(2, const_cast<char**>(argv)));
+  EXPECT_FALSE(flags.boolean("dragon"));
+}
+
+TEST(Flags, RejectsUnknownFlag) {
+  util::Flags flags;
+  flags.define("nodes", "100", "");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Flags, DefaultsApplyWithoutArgs) {
+  util::Flags flags;
+  flags.define("seed", "7", "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.i64("seed"), 7);
+}
+
+TEST(Flags, UndeclaredLookupThrows) {
+  util::Flags flags;
+  EXPECT_THROW((void)flags.str("nope"), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(Ccdf, FractionStrictlyAbove) {
+  const std::vector<double> samples{1, 2, 2, 3};
+  EXPECT_DOUBLE_EQ(stats::fraction_above(samples, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(stats::fraction_above(samples, 2.0), 0.25);
+  EXPECT_DOUBLE_EQ(stats::fraction_above(samples, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats::fraction_at_least(samples, 2.0), 0.75);
+}
+
+TEST(Ccdf, CurveMatchesDefinition) {
+  const std::vector<double> samples{1, 1, 2, 4};
+  const auto curve = stats::ccdf(samples);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].fraction, 0.5);
+  EXPECT_DOUBLE_EQ(curve[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(curve[1].fraction, 0.25);
+  EXPECT_DOUBLE_EQ(curve[2].value, 4.0);
+  EXPECT_DOUBLE_EQ(curve[2].fraction, 0.0);
+}
+
+TEST(Ccdf, Percentiles) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(i);
+  EXPECT_NEAR(stats::percentile(samples, 0.5), 50.0, 1.0);
+  EXPECT_NEAR(stats::percentile(samples, 0.95), 95.0, 1.0);
+  EXPECT_DOUBLE_EQ(stats::min_of(samples), 1.0);
+  EXPECT_DOUBLE_EQ(stats::max_of(samples), 100.0);
+  EXPECT_NEAR(stats::mean_of(samples), 50.5, 1e-9);
+}
+
+TEST(Table, RendersAligned) {
+  stats::Table table({"metric", "paper", "measured"});
+  table.add_row({"ASs", "39193", "1000"});
+  table.add_comparison("efficiency", "0.79", 0.7812);
+  const auto s = table.to_string();
+  EXPECT_NE(s.find("metric"), std::string::npos);
+  EXPECT_NE(s.find("0.781"), std::string::npos);
+  EXPECT_THROW(table.add_row({"a", "b", "c", "d"}), std::invalid_argument);
+}
+
+TEST(Table, FormatNumberTrimsZeros) {
+  EXPECT_EQ(stats::format_number(42.0), "42");
+  EXPECT_EQ(stats::format_number(3.5), "3.5");
+  EXPECT_EQ(stats::format_number(0.125, 3), "0.125");
+  EXPECT_EQ(stats::format_number(0.1239, 3), "0.124");
+}
+
+}  // namespace
+}  // namespace dragon
