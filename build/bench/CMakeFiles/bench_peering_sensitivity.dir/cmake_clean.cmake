@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_peering_sensitivity.dir/bench_peering_sensitivity.cpp.o"
+  "CMakeFiles/bench_peering_sensitivity.dir/bench_peering_sensitivity.cpp.o.d"
+  "bench_peering_sensitivity"
+  "bench_peering_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_peering_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_topology_pipeline.dir/real_topology_pipeline.cpp.o"
+  "CMakeFiles/real_topology_pipeline.dir/real_topology_pipeline.cpp.o.d"
+  "real_topology_pipeline"
+  "real_topology_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_topology_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/addressing/assignment.cpp" "src/CMakeFiles/dragon_lib.dir/addressing/assignment.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/addressing/assignment.cpp.o.d"
+  "/root/repo/src/algebra/custom_algebra.cpp" "src/CMakeFiles/dragon_lib.dir/algebra/custom_algebra.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/algebra/custom_algebra.cpp.o.d"
+  "/root/repo/src/algebra/gr_algebra.cpp" "src/CMakeFiles/dragon_lib.dir/algebra/gr_algebra.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/algebra/gr_algebra.cpp.o.d"
+  "/root/repo/src/algebra/gr_path_algebra.cpp" "src/CMakeFiles/dragon_lib.dir/algebra/gr_path_algebra.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/algebra/gr_path_algebra.cpp.o.d"
+  "/root/repo/src/algebra/property_check.cpp" "src/CMakeFiles/dragon_lib.dir/algebra/property_check.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/algebra/property_check.cpp.o.d"
+  "/root/repo/src/algebra/shortest_path_algebra.cpp" "src/CMakeFiles/dragon_lib.dir/algebra/shortest_path_algebra.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/algebra/shortest_path_algebra.cpp.o.d"
+  "/root/repo/src/dragon/aggregation.cpp" "src/CMakeFiles/dragon_lib.dir/dragon/aggregation.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/dragon/aggregation.cpp.o.d"
+  "/root/repo/src/dragon/consistency.cpp" "src/CMakeFiles/dragon_lib.dir/dragon/consistency.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/dragon/consistency.cpp.o.d"
+  "/root/repo/src/dragon/deaggregation.cpp" "src/CMakeFiles/dragon_lib.dir/dragon/deaggregation.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/dragon/deaggregation.cpp.o.d"
+  "/root/repo/src/dragon/deployment.cpp" "src/CMakeFiles/dragon_lib.dir/dragon/deployment.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/dragon/deployment.cpp.o.d"
+  "/root/repo/src/dragon/efficiency.cpp" "src/CMakeFiles/dragon_lib.dir/dragon/efficiency.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/dragon/efficiency.cpp.o.d"
+  "/root/repo/src/dragon/filtering.cpp" "src/CMakeFiles/dragon_lib.dir/dragon/filtering.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/dragon/filtering.cpp.o.d"
+  "/root/repo/src/engine/dragon_hooks.cpp" "src/CMakeFiles/dragon_lib.dir/engine/dragon_hooks.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/engine/dragon_hooks.cpp.o.d"
+  "/root/repo/src/engine/event_queue.cpp" "src/CMakeFiles/dragon_lib.dir/engine/event_queue.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/engine/event_queue.cpp.o.d"
+  "/root/repo/src/engine/node.cpp" "src/CMakeFiles/dragon_lib.dir/engine/node.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/engine/node.cpp.o.d"
+  "/root/repo/src/engine/simulator.cpp" "src/CMakeFiles/dragon_lib.dir/engine/simulator.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/engine/simulator.cpp.o.d"
+  "/root/repo/src/fibcomp/fib.cpp" "src/CMakeFiles/dragon_lib.dir/fibcomp/fib.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/fibcomp/fib.cpp.o.d"
+  "/root/repo/src/fibcomp/ortc.cpp" "src/CMakeFiles/dragon_lib.dir/fibcomp/ortc.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/fibcomp/ortc.cpp.o.d"
+  "/root/repo/src/prefix/aggregation_tree.cpp" "src/CMakeFiles/dragon_lib.dir/prefix/aggregation_tree.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/prefix/aggregation_tree.cpp.o.d"
+  "/root/repo/src/prefix/prefix.cpp" "src/CMakeFiles/dragon_lib.dir/prefix/prefix.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/prefix/prefix.cpp.o.d"
+  "/root/repo/src/prefix/prefix_forest.cpp" "src/CMakeFiles/dragon_lib.dir/prefix/prefix_forest.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/prefix/prefix_forest.cpp.o.d"
+  "/root/repo/src/prefix/prefix_trie.cpp" "src/CMakeFiles/dragon_lib.dir/prefix/prefix_trie.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/prefix/prefix_trie.cpp.o.d"
+  "/root/repo/src/routecomp/generic_solver.cpp" "src/CMakeFiles/dragon_lib.dir/routecomp/generic_solver.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/routecomp/generic_solver.cpp.o.d"
+  "/root/repo/src/routecomp/gr_sweep.cpp" "src/CMakeFiles/dragon_lib.dir/routecomp/gr_sweep.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/routecomp/gr_sweep.cpp.o.d"
+  "/root/repo/src/stats/ccdf.cpp" "src/CMakeFiles/dragon_lib.dir/stats/ccdf.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/stats/ccdf.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/CMakeFiles/dragon_lib.dir/stats/table.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/stats/table.cpp.o.d"
+  "/root/repo/src/topology/cleaner.cpp" "src/CMakeFiles/dragon_lib.dir/topology/cleaner.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/topology/cleaner.cpp.o.d"
+  "/root/repo/src/topology/generator.cpp" "src/CMakeFiles/dragon_lib.dir/topology/generator.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/topology/generator.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/CMakeFiles/dragon_lib.dir/topology/graph.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/topology/graph.cpp.o.d"
+  "/root/repo/src/topology/loader.cpp" "src/CMakeFiles/dragon_lib.dir/topology/loader.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/topology/loader.cpp.o.d"
+  "/root/repo/src/util/flags.cpp" "src/CMakeFiles/dragon_lib.dir/util/flags.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/util/flags.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/dragon_lib.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/dragon_lib.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/dragon_lib.dir/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdragon_lib.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aggregation_tree.cpp" "tests/CMakeFiles/dragon_tests.dir/test_aggregation_tree.cpp.o" "gcc" "tests/CMakeFiles/dragon_tests.dir/test_aggregation_tree.cpp.o.d"
+  "/root/repo/tests/test_algebra.cpp" "tests/CMakeFiles/dragon_tests.dir/test_algebra.cpp.o" "gcc" "tests/CMakeFiles/dragon_tests.dir/test_algebra.cpp.o.d"
+  "/root/repo/tests/test_assignment.cpp" "tests/CMakeFiles/dragon_tests.dir/test_assignment.cpp.o" "gcc" "tests/CMakeFiles/dragon_tests.dir/test_assignment.cpp.o.d"
+  "/root/repo/tests/test_dragon_core.cpp" "tests/CMakeFiles/dragon_tests.dir/test_dragon_core.cpp.o" "gcc" "tests/CMakeFiles/dragon_tests.dir/test_dragon_core.cpp.o.d"
+  "/root/repo/tests/test_efficiency.cpp" "tests/CMakeFiles/dragon_tests.dir/test_efficiency.cpp.o" "gcc" "tests/CMakeFiles/dragon_tests.dir/test_efficiency.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/dragon_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/dragon_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_fibcomp.cpp" "tests/CMakeFiles/dragon_tests.dir/test_fibcomp.cpp.o" "gcc" "tests/CMakeFiles/dragon_tests.dir/test_fibcomp.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/dragon_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/dragon_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_prefix.cpp" "tests/CMakeFiles/dragon_tests.dir/test_prefix.cpp.o" "gcc" "tests/CMakeFiles/dragon_tests.dir/test_prefix.cpp.o.d"
+  "/root/repo/tests/test_prefix_forest.cpp" "tests/CMakeFiles/dragon_tests.dir/test_prefix_forest.cpp.o" "gcc" "tests/CMakeFiles/dragon_tests.dir/test_prefix_forest.cpp.o.d"
+  "/root/repo/tests/test_prefix_trie.cpp" "tests/CMakeFiles/dragon_tests.dir/test_prefix_trie.cpp.o" "gcc" "tests/CMakeFiles/dragon_tests.dir/test_prefix_trie.cpp.o.d"
+  "/root/repo/tests/test_routecomp.cpp" "tests/CMakeFiles/dragon_tests.dir/test_routecomp.cpp.o" "gcc" "tests/CMakeFiles/dragon_tests.dir/test_routecomp.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/dragon_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/dragon_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/dragon_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/dragon_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dragon_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragon_tests.dir/test_aggregation_tree.cpp.o"
+  "CMakeFiles/dragon_tests.dir/test_aggregation_tree.cpp.o.d"
+  "CMakeFiles/dragon_tests.dir/test_algebra.cpp.o"
+  "CMakeFiles/dragon_tests.dir/test_algebra.cpp.o.d"
+  "CMakeFiles/dragon_tests.dir/test_assignment.cpp.o"
+  "CMakeFiles/dragon_tests.dir/test_assignment.cpp.o.d"
+  "CMakeFiles/dragon_tests.dir/test_dragon_core.cpp.o"
+  "CMakeFiles/dragon_tests.dir/test_dragon_core.cpp.o.d"
+  "CMakeFiles/dragon_tests.dir/test_efficiency.cpp.o"
+  "CMakeFiles/dragon_tests.dir/test_efficiency.cpp.o.d"
+  "CMakeFiles/dragon_tests.dir/test_engine.cpp.o"
+  "CMakeFiles/dragon_tests.dir/test_engine.cpp.o.d"
+  "CMakeFiles/dragon_tests.dir/test_fibcomp.cpp.o"
+  "CMakeFiles/dragon_tests.dir/test_fibcomp.cpp.o.d"
+  "CMakeFiles/dragon_tests.dir/test_integration.cpp.o"
+  "CMakeFiles/dragon_tests.dir/test_integration.cpp.o.d"
+  "CMakeFiles/dragon_tests.dir/test_prefix.cpp.o"
+  "CMakeFiles/dragon_tests.dir/test_prefix.cpp.o.d"
+  "CMakeFiles/dragon_tests.dir/test_prefix_forest.cpp.o"
+  "CMakeFiles/dragon_tests.dir/test_prefix_forest.cpp.o.d"
+  "CMakeFiles/dragon_tests.dir/test_prefix_trie.cpp.o"
+  "CMakeFiles/dragon_tests.dir/test_prefix_trie.cpp.o.d"
+  "CMakeFiles/dragon_tests.dir/test_routecomp.cpp.o"
+  "CMakeFiles/dragon_tests.dir/test_routecomp.cpp.o.d"
+  "CMakeFiles/dragon_tests.dir/test_topology.cpp.o"
+  "CMakeFiles/dragon_tests.dir/test_topology.cpp.o.d"
+  "CMakeFiles/dragon_tests.dir/test_util.cpp.o"
+  "CMakeFiles/dragon_tests.dir/test_util.cpp.o.d"
+  "dragon_tests"
+  "dragon_tests.pdb"
+  "dragon_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragon_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
