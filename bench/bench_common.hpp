@@ -7,11 +7,16 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "addressing/assignment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "topology/cleaner.hpp"
 #include "topology/generator.hpp"
 #include "util/flags.hpp"
+#include "util/log.hpp"
 
 namespace dragon::bench {
 
@@ -25,6 +30,45 @@ inline void define_scenario_flags(util::Flags& flags) {
   flags.define("paper-scale", "false",
                "approximate the paper's dataset size (39k ASs, takes "
                "minutes)");
+}
+
+/// Declares the observability flags every harness supports: a JSON dump
+/// of the metrics registry next to the text tables, and opt-in
+/// wall-clock profiling with an at-exit summary.
+inline void define_obs_flags(util::Flags& flags) {
+  flags.define("metrics-json", "",
+               "write the metrics registry as JSON to this path");
+  flags.define("profile", "false",
+               "time election/trie/flush scopes; summary on exit");
+}
+
+/// Applies the parsed observability flags (call once after parse).
+inline void apply_obs_flags(const util::Flags& flags) {
+  if (flags.boolean("profile")) obs::profiling_enable(true);
+}
+
+/// Writes `{"<name>":<registry json>,...}` to `path`.  Returns false
+/// (and warns) on I/O failure.
+inline bool write_metrics_json(
+    const std::string& path,
+    const std::vector<std::pair<std::string, const obs::MetricsRegistry*>>&
+        sections) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    DRAGON_LOG_WARN("cannot open --metrics-json path %s", path.c_str());
+    return false;
+  }
+  std::fputc('{', f);
+  bool first = true;
+  for (const auto& [name, registry] : sections) {
+    if (!first) std::fputc(',', f);
+    first = false;
+    std::fprintf(f, "\"%s\":", name.c_str());
+    const std::string json = registry->to_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+  }
+  std::fputs("}\n", f);
+  return std::fclose(f) == 0;
 }
 
 struct Scenario {

@@ -91,10 +91,12 @@ void print_ccdf_block(const char* name, const std::vector<double>& eff) {
 int main(int argc, char** argv) {
   util::Flags flags;
   bench::define_scenario_flags(flags);
+  bench::define_obs_flags(flags);
   flags.define("fib-sample", "250",
                "ASs sampled for the FIB-compression baselines");
   if (!flags.parse(argc, argv)) return 1;
   flags.print_config("bench_fig8_filtering");
+  bench::apply_obs_flags(flags);
 
   const auto scenario = bench::build_scenario(flags);
   const auto& topo = scenario.generated.graph;
@@ -205,5 +207,28 @@ int main(int argc, char** argv) {
   print_ccdf_block("DRG agg (non-stubs)", eff_agg_nonstub);
   print_ccdf_block("FIB def (sampled ASs)", fib_def_eff);
   print_ccdf_block("FIB agg (sampled ASs)", fib_agg_eff);
+
+  // This bench has no simulator, so it fills a bench-local registry:
+  // per-AS efficiencies as basis-point histograms plus the dataset bounds.
+  if (!flags.str("metrics-json").empty()) {
+    obs::MetricsRegistry reg;
+    const auto observe_all = [&reg](const char* name,
+                                    const std::vector<double>& eff) {
+      auto* h = reg.histogram(name);
+      for (double e : eff) {
+        h->observe(static_cast<std::uint64_t>(10000.0 * e + 0.5));
+      }
+    };
+    observe_all("fig8.efficiency_bp.drg_def", eff_def);
+    observe_all("fig8.efficiency_bp.drg_agg", eff_agg);
+    observe_all("fig8.efficiency_bp.fib_def", fib_def_eff);
+    observe_all("fig8.efficiency_bp.fib_agg", fib_agg_eff);
+    reg.gauge("fig8.max_efficiency.def")->set(max_def);
+    reg.gauge("fig8.max_efficiency.agg")->set(max_agg);
+    reg.counter("fig8.aggregation_prefixes")
+        ->inc(drg_agg.aggregation_prefixes);
+    reg.counter("fig8.fib_sample_size")->inc(sample.size());
+    bench::write_metrics_json(flags.str("metrics-json"), {{"fig8", &reg}});
+  }
   return 0;
 }

@@ -14,10 +14,13 @@
 //     one order of magnitude.
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "algebra/gr_path_algebra.hpp"
 #include "engine/simulator.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 #include "prefix/prefix_forest.hpp"
 #include "stats/ccdf.hpp"
 #include "stats/table.hpp"
@@ -68,17 +71,48 @@ struct Tree {
 int main(int argc, char** argv) {
   util::Flags flags;
   bench::define_scenario_flags(flags);
+  bench::define_obs_flags(flags);
   flags.define("trees", "20", "non-trivial prefix-trees sampled (paper: 250)");
   flags.define("trials", "40",
                "random link failures per tree (paper: 4000)");
   flags.define("max-tree", "12", "skip trees with more prefixes than this");
   flags.define("only-tree", "-1", "debug: run only this sampled tree index");
   flags.define("debug-log", "false", "debug: engine debug logging");
+  flags.define("trace-file", "",
+               "write the DRAGON trials' structured event trace (JSONL) here");
+  flags.define("timeline-file", "",
+               "write per-trial convergence time series (JSONL) here");
+  flags.define("timeline-dt", "10",
+               "timeline sampling cadence in sim seconds");
   if (!flags.parse(argc, argv)) return 1;
   flags.print_config("bench_fig9_convergence");
+  bench::apply_obs_flags(flags);
   if (flags.boolean("debug-log")) {
     util::set_log_level(util::LogLevel::kDebug);
   }
+
+  // Per-trial metrics from the two simulators are merged into these
+  // aggregates (trial counters sum; gauges keep their last end-state
+  // value) and dumped by --metrics-json.
+  obs::MetricsRegistry agg_bgp, agg_drg, bench_metrics;
+  obs::EventTracer tracer(1 << 16);
+  const bool tracing = !flags.str("trace-file").empty();
+  if (tracing && !tracer.open_sink(flags.str("trace-file"))) {
+    std::fprintf(stderr, "cannot open --trace-file %s\n",
+                 flags.str("trace-file").c_str());
+    return 1;
+  }
+  std::FILE* timeline_out = nullptr;
+  if (!flags.str("timeline-file").empty()) {
+    timeline_out = std::fopen(flags.str("timeline-file").c_str(), "w");
+    if (timeline_out == nullptr) {
+      std::fprintf(stderr, "cannot open --timeline-file %s\n",
+                   flags.str("timeline-file").c_str());
+      return 1;
+    }
+  }
+  obs::Timeline bgp_timeline(flags.f64("timeline-dt"));
+  obs::Timeline drg_timeline(flags.f64("timeline-dt"));
 
   const auto scenario = bench::build_scenario(flags);
   const auto& topo = scenario.generated.graph;
@@ -129,6 +163,9 @@ int main(int argc, char** argv) {
     drg.run_until_quiescent();
     const auto bgp_snap = bgp.snapshot();
     const auto drg_snap = drg.snapshot();
+    // Trace only the DRAGON trials: the BGP twin runs the same failures and
+    // would double every record with no extra information.
+    if (tracing) drg.set_tracer(&tracer);
 
     // Trial set: random links drawn from the links that actually carry the
     // tree's traffic (failures elsewhere produce no updates under either
@@ -161,15 +198,63 @@ int main(int argc, char** argv) {
       bgp.restore(bgp_snap);
       bgp.reset_stats();
       bgp.fail_link(a, b);
+      if (timeline_out != nullptr) bgp.attach_timeline(&bgp_timeline);
       bgp.run_until_quiescent(bgp.now() + 1e6);
       const auto bgp_updates = bgp.stats().updates();
+      if (timeline_out != nullptr) {
+        char extra[96];
+        std::snprintf(extra, sizeof extra,
+                      "\"mode\":\"bgp\",\"tree\":%zu,\"trial\":%zu", t, trial);
+        bgp_timeline.write_jsonl(timeline_out, extra);
+        bgp.attach_timeline(nullptr);
+      }
 
+      if (tracing) {
+        char note[128];
+        std::snprintf(note, sizeof note,
+                      "{\"kind\":\"trial_start\",\"tree\":%zu,\"trial\":%zu,"
+                      "\"link\":[%u,%u]}",
+                      t, trial, a, b);
+        tracer.note(note);
+      }
       drg.restore(drg_snap);
       drg.reset_stats();
       drg.fail_link(a, b);
+      if (timeline_out != nullptr) drg.attach_timeline(&drg_timeline);
       drg.run_until_quiescent(drg.now() + 1e6);
       const auto drg_updates = drg.stats().updates();
       const bool deagg = drg.stats().deaggregations > 0;
+      if (timeline_out != nullptr) {
+        char extra[96];
+        std::snprintf(extra, sizeof extra,
+                      "\"mode\":\"dragon\",\"tree\":%zu,\"trial\":%zu", t,
+                      trial);
+        drg_timeline.write_jsonl(timeline_out, extra);
+        drg.attach_timeline(nullptr);
+      }
+      if (tracing) {
+        // note() flushes the ring first, so every event of this trial is on
+        // disk before the delimiter; the counts let a reader check the JSONL
+        // against the Stats facade per trial.
+        const auto s = drg.stats();
+        char note[160];
+        std::snprintf(note, sizeof note,
+                      "{\"kind\":\"trial_end\",\"tree\":%zu,\"trial\":%zu,"
+                      "\"updates\":%llu,\"announcements\":%llu,"
+                      "\"withdrawals\":%llu}",
+                      t, trial, (unsigned long long)s.updates(),
+                      (unsigned long long)s.announcements,
+                      (unsigned long long)s.withdrawals);
+        tracer.note(note);
+      }
+
+      agg_bgp.merge_from(bgp.metrics());
+      agg_drg.merge_from(drg.metrics());
+      bench_metrics.counter("fig9.trials")->inc();
+      bench_metrics.histogram("fig9.updates_per_trial.bgp")
+          ->observe(bgp_updates);
+      bench_metrics.histogram("fig9.updates_per_trial.dragon")
+          ->observe(drg_updates);
       if (drg_updates > 100000 || bgp_updates > 100000) {
         std::fprintf(stderr,
                      "#   HOT trial {%u,%u}: bgp=%llu drg=%llu deagg=%llu "
@@ -183,6 +268,7 @@ int main(int argc, char** argv) {
 
       if (deagg) {
         ++trials_deagg;
+        bench_metrics.counter("fig9.trials_deagg")->inc();
         if (is_random) ++random_deagg;
         bgp_deagg.push_back(static_cast<double>(bgp_updates));
         drg_deagg.push_back(static_cast<double>(drg_updates));
@@ -269,6 +355,21 @@ int main(int argc, char** argv) {
   if (!drg_deagg.empty()) {
     print_curve("BGP, de-aggregation failures", bgp_deagg);
     print_curve("DRAGON, de-aggregation failures", drg_deagg);
+  }
+
+  tracer.flush();
+  if (tracing) {
+    std::fprintf(stderr, "# trace: %llu events recorded, %llu dropped -> %s\n",
+                 (unsigned long long)tracer.recorded(),
+                 (unsigned long long)tracer.dropped(),
+                 flags.str("trace-file").c_str());
+  }
+  if (timeline_out != nullptr) std::fclose(timeline_out);
+  if (!flags.str("metrics-json").empty()) {
+    bench::write_metrics_json(flags.str("metrics-json"),
+                              {{"bench", &bench_metrics},
+                               {"bgp", &agg_bgp},
+                               {"dragon", &agg_drg}});
   }
   return 0;
 }

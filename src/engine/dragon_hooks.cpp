@@ -71,6 +71,18 @@ void Simulator::dragon_update_cr(NodeId u, const Prefix& q) {
   }
   if (filter != entry.filtered) {
     entry.filtered = filter;
+    if (filter) {
+      c_filter_->inc();
+      g_filtered_->add(1.0);
+      DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kFilter, u, q,
+                         static_cast<std::uint32_t>(entry.elected));
+    } else {
+      c_unfilter_->inc();
+      g_filtered_->add(-1.0);
+      DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kUnfilter, u,
+                         q, static_cast<std::uint32_t>(entry.elected));
+    }
+    sync_entry_obs(u, q, entry);
     mark_pending(u, q);
   }
 }
@@ -117,6 +129,12 @@ void Simulator::dragon_check_ra(OriginationRecord& rec) {
     const RouteEntry* qe = node.find(q);
     if (qe != nullptr && qe->elected == kUnreachable) lost.push_back(q);
   }
+  if (!violating.empty() || !lost.empty()) {
+    c_ra_violation_->inc();
+    DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kRaViolation,
+                       rec.origin, rec.root,
+                       static_cast<std::uint32_t>(worst_attr));
+  }
 
   // A §3.9 downgrade is RA-compliant only when the reachable more-specifics
   // fully tile the root: no address then depends on the root announcement,
@@ -147,7 +165,9 @@ void Simulator::dragon_check_ra(OriginationRecord& rec) {
     rec.fragments = std::move(fragments);
     if (!rec.deaggregated) {
       rec.deaggregated = true;
-      ++stats_.deaggregations;
+      c_deagg_->inc();
+      DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kDeaggregate,
+                         rec.origin, rec.root);
       root_entry.origin_paused = true;
       reelect_and_react(rec.origin, rec.root);
     }
@@ -174,7 +194,9 @@ void Simulator::dragon_check_ra(OriginationRecord& rec) {
 
   if (rec.deaggregated) {
     // The lost prefixes are routable again: restore the root.
-    ++stats_.reaggregations;
+    c_reagg_->inc();
+    DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kReaggregate,
+                       rec.origin, rec.root);
     rec.deaggregated = false;
     const auto old_fragments = std::move(rec.fragments);
     rec.fragments.clear();
@@ -192,7 +214,10 @@ void Simulator::dragon_check_ra(OriginationRecord& rec) {
   if (root_entry.origin_attr != worst_attr) {
     if (project(worst_attr) > project(rec.attr) &&
         project(rec.effective_attr) <= project(rec.attr)) {
-      ++stats_.downgrades;
+      c_downgrade_->inc();
+      DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kDowngrade,
+                         rec.origin, rec.root,
+                         static_cast<std::uint32_t>(worst_attr));
     }
     rec.effective_attr = worst_attr;
     root_entry.origin_attr = worst_attr;
@@ -247,7 +272,9 @@ void Simulator::dragon_check_reaggregation(NodeId u, const Prefix& root,
     entry.origin_reagg = true;
     entry.origin_attr = attr;
     entry.origin_paused = false;
-    ++stats_.agg_originations;
+    c_agg_orig_->inc();
+    DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kAggOriginate,
+                       u, root, static_cast<std::uint32_t>(attr));
     reelect_and_react(u, root);
   } else if (!should && entry.originated && entry.origin_reagg) {
     const auto missing = core::deaggregate_excluding(root, pieces);
@@ -265,6 +292,8 @@ void Simulator::dragon_check_reaggregation(NodeId u, const Prefix& root,
     entry.originated = false;
     entry.origin_reagg = false;
     entry.origin_attr = kUnreachable;
+    DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kAggStop, u,
+                       root);
     reelect_and_react(u, root);
   }
 }

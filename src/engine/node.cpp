@@ -1,11 +1,14 @@
 #include "engine/node.hpp"
 
+#include "obs/profile.hpp"
+
 namespace dragon::engine {
 
 using algebra::Attr;
 using algebra::kUnreachable;
 
 Attr NodeState::elect(const algebra::Algebra& alg, const prefix::Prefix& p) {
+  DRAGON_PROF_SCOPE("engine.elect");
   RouteEntry& entry = route(p);
   Attr best = kUnreachable;
   if (entry.originated && !entry.origin_paused) best = entry.origin_attr;

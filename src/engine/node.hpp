@@ -38,6 +38,12 @@ struct RouteEntry {
   /// withdrawn again when the tiling breaks or an equally-preferred route
   /// for the root is learned, Fig. 6).
   bool origin_reagg = false;
+  /// Observability bookkeeping: whether this entry was last accounted as
+  /// an installed forwarding entry (elected and unfiltered).  Kept in
+  /// sync by Simulator::sync_entry_obs so FIB install/remove counters and
+  /// the fib_entries gauge never double-count, whichever mutation path
+  /// (election change or filter flip) fired.
+  bool fib_installed = false;
 };
 
 struct NeighborIo {

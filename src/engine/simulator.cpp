@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/profile.hpp"
 #include "util/log.hpp"
 
 namespace dragon::engine {
@@ -12,12 +13,16 @@ using algebra::kUnreachable;
 using topology::NodeId;
 using Prefix = prefix::Prefix;
 
+namespace {
+constexpr const char* kNodeClassNames[3] = {"stub", "transit", "tier1"};
+}  // namespace
+
 struct Simulator::Snapshot {
   std::vector<NodeState> nodes;
   std::unordered_set<std::uint64_t> failed;
   std::vector<OriginationRecord> originations;
   std::vector<std::pair<Prefix, Attr>> agg_watch;
-  Stats stats;
+  obs::MetricsRegistry::Snapshot metrics;
   util::Rng rng;
 };
 
@@ -28,7 +33,8 @@ Simulator::Simulator(const topology::Topology& topo,
       config_(std::move(config)),
       rng_(config_.seed),
       nodes_(topo.node_count()),
-      labels_(topo.node_count()) {
+      labels_(topo.node_count()),
+      node_class_(topo.node_count()) {
   std::uint32_t link_counter = 1;
   for (NodeId u = 0; u < topo.node_count(); ++u) {
     for (const auto& nb : topo.neighbors(u)) {
@@ -38,7 +44,40 @@ Simulator::Simulator(const topology::Topology& topo,
       }
       labels_[u][nb.id] = label;
     }
+    node_class_[u] = topo.is_stub(u) ? 0 : (topo.is_root(u) ? 2 : 1);
   }
+
+  c_announce_ = metrics_.counter("dragon.engine.announcements");
+  c_withdraw_ = metrics_.counter("dragon.engine.withdrawals");
+  for (int c = 0; c < 3; ++c) {
+    c_class_updates_[c] = metrics_.counter(
+        std::string("dragon.engine.updates.class.") + kNodeClassNames[c]);
+  }
+  c_mrai_flush_ = metrics_.counter("dragon.engine.mrai_flushes");
+  c_fib_install_ = metrics_.counter("dragon.engine.fib_installs");
+  c_fib_remove_ = metrics_.counter("dragon.engine.fib_removals");
+  c_filter_ = metrics_.counter("dragon.dragon.filter_transitions");
+  c_unfilter_ = metrics_.counter("dragon.dragon.unfilter_transitions");
+  c_deagg_ = metrics_.counter("dragon.dragon.deaggregations");
+  c_reagg_ = metrics_.counter("dragon.dragon.reaggregations");
+  c_downgrade_ = metrics_.counter("dragon.dragon.downgrades");
+  c_agg_orig_ = metrics_.counter("dragon.dragon.agg_originations");
+  c_ra_violation_ = metrics_.counter("dragon.dragon.ra_violations");
+  g_fib_ = metrics_.gauge("dragon.engine.fib_entries");
+  g_filtered_ = metrics_.gauge("dragon.dragon.filtered_entries");
+  h_update_depth_ = metrics_.histogram("dragon.engine.update_prefix_depth");
+  h_queue_depth_ = metrics_.histogram("dragon.engine.queue_depth");
+}
+
+Stats Simulator::stats() const {
+  Stats s;
+  s.announcements = c_announce_->value();
+  s.withdrawals = c_withdraw_->value();
+  s.deaggregations = c_deagg_->value();
+  s.reaggregations = c_reagg_->value();
+  s.downgrades = c_downgrade_->value();
+  s.agg_originations = c_agg_orig_->value();
+  return s;
 }
 
 algebra::LabelId Simulator::label(NodeId learner, NodeId speaker) const {
@@ -98,6 +137,8 @@ void Simulator::watch_aggregate(const Prefix& root, Attr attr) {
 
 void Simulator::fail_link(NodeId a, NodeId b) {
   if (!failed_.insert(link_key(a, b)).second) return;
+  DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kLinkFail, a,
+                     static_cast<std::int64_t>(b));
   // Session reset: both sides drop what they learned from and advertised to
   // the other.
   for (NodeId u : {a, b}) {
@@ -118,6 +159,8 @@ void Simulator::fail_link(NodeId a, NodeId b) {
 
 void Simulator::restore_link(NodeId a, NodeId b) {
   if (failed_.erase(link_key(a, b)) == 0) return;
+  DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kLinkRestore, a,
+                     static_cast<std::int64_t>(b));
   // Session re-establishment: full table re-advertisement both ways.
   for (NodeId u : {a, b}) {
     const NodeId v = (u == a) ? b : a;
@@ -129,8 +172,39 @@ void Simulator::restore_link(NodeId a, NodeId b) {
   }
 }
 
+void Simulator::attach_timeline(obs::Timeline* timeline) {
+  timeline_ = timeline;
+  if (timeline_ != nullptr) timeline_->begin(queue_.now());
+}
+
+obs::Timeline::Sample Simulator::timeline_sample(Time t) const {
+  obs::Timeline::Sample s;
+  s.t = t;
+  s.updates = c_announce_->value() + c_withdraw_->value();
+  s.fib_entries = static_cast<std::uint64_t>(g_fib_->value());
+  const double filtered = g_filtered_->value();
+  const double elected = filtered + g_fib_->value();
+  s.frac_filtered = elected > 0.0 ? filtered / elected : 0.0;
+  s.queue_depth = queue_.size();
+  return s;
+}
+
 std::size_t Simulator::run_until_quiescent(Time max_time) {
-  return queue_.run_until(max_time);
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.next_time() <= max_time) {
+    if (timeline_ != nullptr) {
+      // Emit every grid sample due before the next event fires, so the
+      // series has a point per cadence tick even across quiet stretches.
+      while (timeline_->due(queue_.next_time())) {
+        timeline_->push(timeline_sample(timeline_->next_due()));
+      }
+    }
+    queue_.run_next();
+    ++count;
+    if ((count & 63u) == 0) h_queue_depth_->observe(queue_.size());
+  }
+  if (timeline_ != nullptr) timeline_->push(timeline_sample(queue_.now()));
+  return count;
 }
 
 Attr Simulator::elected(NodeId u, const Prefix& p) const {
@@ -234,7 +308,7 @@ std::shared_ptr<const Simulator::Snapshot> Simulator::snapshot() const {
   snap->failed = failed_;
   snap->originations = originations_;
   snap->agg_watch = agg_watch_;
-  snap->stats = stats_;
+  snap->metrics = metrics_.snapshot_state();
   snap->rng = rng_;
   return snap;
 }
@@ -249,13 +323,18 @@ void Simulator::restore(const Snapshot& snap) {
   failed_ = snap.failed;
   originations_ = snap.originations;
   agg_watch_ = snap.agg_watch;
-  stats_ = snap.stats;
+  metrics_.restore_state(snap.metrics);
   rng_ = snap.rng;
 }
 
 void Simulator::deliver(NodeId to, NodeId from, const Prefix& p,
                         std::optional<Attr> wire) {
   if (!link_alive(to, from)) return;  // failed while in flight
+  DRAGON_TRACE_EVENT(tracer_, queue_.now(),
+                     wire ? obs::EventKind::kRecvAnnounce
+                          : obs::EventKind::kRecvWithdraw,
+                     to, static_cast<std::int64_t>(from), p,
+                     wire ? static_cast<std::uint32_t>(*wire) : 0u);
   RouteEntry& entry = nodes_[to].route(p);
   if (wire) {
     const Attr imported = alg_.extend(label(to, from), *wire);
@@ -286,7 +365,31 @@ void Simulator::reelect_and_react(NodeId u, const Prefix& p) {
                      queue_.now(), u, p.to_bit_string().c_str(), before,
                      entry.elected, (int)filtered_before,
                      (int)entry.filtered);
+    if (entry.elected != before) {
+      DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kElect, u, p,
+                         static_cast<std::uint32_t>(entry.elected));
+    }
     mark_pending(u, p);
+  }
+  sync_entry_obs(u, p, entry);
+}
+
+void Simulator::sync_entry_obs([[maybe_unused]] NodeId u,
+                               [[maybe_unused]] const Prefix& p,
+                               RouteEntry& entry) {
+  const bool active = entry.elected != kUnreachable && !entry.filtered;
+  if (active == entry.fib_installed) return;
+  entry.fib_installed = active;
+  if (active) {
+    c_fib_install_->inc();
+    g_fib_->add(1.0);
+    DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kFibInstall, u,
+                       p);
+  } else {
+    c_fib_remove_->inc();
+    g_fib_->add(-1.0);
+    DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kFibRemove, u,
+                       p);
   }
 }
 
@@ -315,6 +418,7 @@ void Simulator::try_flush(NodeId u, NodeId v) {
 }
 
 void Simulator::flush_now(NodeId u, NodeId v) {
+  DRAGON_PROF_SCOPE("engine.flush");
   NodeState& node = nodes_[u];
   NeighborIo& io = node.io[v];
   bool sent_any = false;
@@ -342,6 +446,9 @@ void Simulator::flush_now(NodeId u, NodeId v) {
   }
   io.pending.clear();
   if (sent_any) {
+    c_mrai_flush_->inc();
+    DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kMraiFlush, u,
+                       static_cast<std::int64_t>(v));
     const double jitter = config_.mrai_jitter * rng_.uniform();
     io.mrai_ready = queue_.now() + config_.mrai * (1.0 - jitter);
   }
@@ -350,10 +457,17 @@ void Simulator::flush_now(NodeId u, NodeId v) {
 void Simulator::send(NodeId from, NodeId to, const Prefix& p,
                      std::optional<Attr> wire) {
   if (wire) {
-    ++stats_.announcements;
+    c_announce_->inc();
   } else {
-    ++stats_.withdrawals;
+    c_withdraw_->inc();
   }
+  c_class_updates_[node_class_[from]]->inc();
+  h_update_depth_->observe(static_cast<std::uint64_t>(p.length()));
+  DRAGON_TRACE_EVENT(tracer_, queue_.now(),
+                     wire ? obs::EventKind::kAnnounce
+                          : obs::EventKind::kWithdraw,
+                     from, static_cast<std::int64_t>(to), p,
+                     wire ? static_cast<std::uint32_t>(*wire) : 0u);
   const double jitter =
       1.0 + config_.link_delay_jitter * (2.0 * rng_.uniform() - 1.0);
   const Time at = queue_.now() + config_.link_delay * jitter;

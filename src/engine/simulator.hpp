@@ -34,6 +34,9 @@
 #include "algebra/algebra.hpp"
 #include "engine/event_queue.hpp"
 #include "engine/node.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 #include "prefix/prefix.hpp"
 #include "topology/graph.hpp"
 #include "util/rng.hpp"
@@ -61,6 +64,10 @@ struct Config {
   std::uint64_t seed = 7;
 };
 
+/// Thin façade over the simulator's metrics registry: the historical
+/// six-counter summary, materialised on demand from the registry's
+/// `dragon.engine.*` / `dragon.dragon.*` counters (which are the source
+/// of truth — see src/obs/metrics.hpp).
 struct Stats {
   std::uint64_t announcements = 0;
   std::uint64_t withdrawals = 0;
@@ -107,8 +114,27 @@ class Simulator {
   std::size_t run_until_quiescent(Time max_time = 1e7);
 
   [[nodiscard]] Time now() const { return queue_.now(); }
-  [[nodiscard]] const Stats& stats() const { return stats_; }
-  void reset_stats() { stats_ = Stats{}; }
+  /// The Stats façade, read from the metrics registry.
+  [[nodiscard]] Stats stats() const;
+  /// Zeroes the registry's counters and histograms (gauges keep tracking
+  /// current state, e.g. installed FIB entries).
+  void reset_stats() { metrics_.reset_accumulators(); }
+
+  // --- Observability -------------------------------------------------------
+
+  /// The simulator's own metrics registry (counters under
+  /// `dragon.engine.*` / `dragon.dragon.*`; see DESIGN.md).
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+  /// Attaches a structured event tracer (nullptr detaches).  Non-owning;
+  /// the tracer must outlive the simulator or be detached first.
+  void set_tracer(obs::EventTracer* tracer) { tracer_ = tracer; }
+  /// Attaches a convergence timeline probe (nullptr detaches) and
+  /// (re)starts its sampling grid at now().  run_until_quiescent then
+  /// records a sample per cadence tick plus a final end-state sample.
+  void attach_timeline(obs::Timeline* timeline);
 
   // --- State introspection -------------------------------------------------
 
@@ -182,6 +208,11 @@ class Simulator {
   /// Re-elects p at u, runs DRAGON hooks, and schedules updates for every
   /// prefix whose externally visible state may have changed.
   void reelect_and_react(NodeId u, const Prefix& p);
+  /// Reconciles the entry's FIB accounting (install/remove counters, the
+  /// fib_entries gauge, trace events) with its current elected/filtered
+  /// state.  Idempotent.
+  void sync_entry_obs(NodeId u, const Prefix& p, RouteEntry& entry);
+  [[nodiscard]] obs::Timeline::Sample timeline_sample(Time t) const;
   void mark_pending(NodeId u, const Prefix& p);
   void try_flush(NodeId u, NodeId v);
   void flush_now(NodeId u, NodeId v);
@@ -206,7 +237,32 @@ class Simulator {
   std::vector<OriginationRecord> originations_;
   /// Roots watched for §3.7/§3.8 self-organised origination.
   std::vector<std::pair<Prefix, Attr>> agg_watch_;
-  Stats stats_;
+
+  // --- Observability state --------------------------------------------------
+  obs::MetricsRegistry metrics_;
+  obs::EventTracer* tracer_ = nullptr;    // non-owning
+  obs::Timeline* timeline_ = nullptr;     // non-owning
+  /// Node class per node (index into kNodeClassNames: stub/transit/tier1)
+  /// for the per-node-class update counters.
+  std::vector<std::uint8_t> node_class_;
+  // Hot-path handles into metrics_ (resolved once in the constructor).
+  obs::Counter* c_announce_;
+  obs::Counter* c_withdraw_;
+  obs::Counter* c_class_updates_[3];
+  obs::Counter* c_mrai_flush_;
+  obs::Counter* c_fib_install_;
+  obs::Counter* c_fib_remove_;
+  obs::Counter* c_filter_;
+  obs::Counter* c_unfilter_;
+  obs::Counter* c_deagg_;
+  obs::Counter* c_reagg_;
+  obs::Counter* c_downgrade_;
+  obs::Counter* c_agg_orig_;
+  obs::Counter* c_ra_violation_;
+  obs::Gauge* g_fib_;
+  obs::Gauge* g_filtered_;
+  obs::Histogram* h_update_depth_;
+  obs::Histogram* h_queue_depth_;
 };
 
 }  // namespace dragon::engine

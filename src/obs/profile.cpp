@@ -1,0 +1,103 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+namespace dragon::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_atexit_registered{false};
+std::atomic<ProfSite*> g_sites{nullptr};
+
+void atexit_hook() { print_profile_summary(stderr); }
+
+}  // namespace
+
+ProfSite::ProfSite(const char* site_name) : name(site_name) {
+  ProfSite* head = g_sites.load(std::memory_order_relaxed);
+  do {
+    next = head;
+  } while (!g_sites.compare_exchange_weak(head, this,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed));
+}
+
+void profiling_enable(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+  if (on && !g_atexit_registered.exchange(true)) {
+    std::atexit(atexit_hook);
+  }
+}
+
+bool profiling_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+std::string profile_summary() {
+  struct Row {
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  std::map<std::string, Row> merged;
+  for (ProfSite* site = g_sites.load(std::memory_order_acquire);
+       site != nullptr; site = site->next) {
+    const std::uint64_t calls = site->calls.load(std::memory_order_relaxed);
+    if (calls == 0) continue;
+    Row& row = merged[site->name];
+    row.calls += calls;
+    row.total_ns += site->total_ns.load(std::memory_order_relaxed);
+    row.max_ns = std::max(row.max_ns,
+                          site->max_ns.load(std::memory_order_relaxed));
+  }
+  if (merged.empty()) return {};
+
+  std::vector<std::pair<std::string, Row>> rows(merged.begin(), merged.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+
+  std::size_t name_width = 4;
+  for (const auto& [name, row] : rows) {
+    name_width = std::max(name_width, name.size());
+  }
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line), "%-*s %12s %12s %10s %10s\n",
+                static_cast<int>(name_width), "site", "calls", "total_ms",
+                "mean_us", "max_us");
+  out += "-- profile (wall clock) --\n";
+  out += line;
+  for (const auto& [name, row] : rows) {
+    std::snprintf(line, sizeof(line), "%-*s %12llu %12.3f %10.3f %10.3f\n",
+                  static_cast<int>(name_width), name.c_str(),
+                  static_cast<unsigned long long>(row.calls),
+                  static_cast<double>(row.total_ns) / 1e6,
+                  static_cast<double>(row.total_ns) /
+                      (1e3 * static_cast<double>(row.calls)),
+                  static_cast<double>(row.max_ns) / 1e3);
+    out += line;
+  }
+  return out;
+}
+
+void print_profile_summary(std::FILE* out) {
+  const std::string summary = profile_summary();
+  if (summary.empty()) return;
+  std::fwrite(summary.data(), 1, summary.size(), out);
+}
+
+void profile_reset() {
+  for (ProfSite* site = g_sites.load(std::memory_order_acquire);
+       site != nullptr; site = site->next) {
+    site->calls.store(0, std::memory_order_relaxed);
+    site->total_ns.store(0, std::memory_order_relaxed);
+    site->max_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace dragon::obs

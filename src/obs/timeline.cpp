@@ -1,0 +1,42 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+
+namespace dragon::obs {
+
+Timeline::Timeline(double cadence)
+    : cadence_(cadence > 0.0 ? cadence : 1.0) {}
+
+void Timeline::begin(double start_time) {
+  samples_.clear();
+  next_ = start_time + cadence_;
+  prev_t_ = start_time;
+  prev_updates_ = 0;
+}
+
+void Timeline::push(Sample sample) {
+  const double dt = sample.t - prev_t_;
+  sample.updates_per_sec =
+      dt > 0.0 ? static_cast<double>(sample.updates - prev_updates_) / dt : 0.0;
+  prev_t_ = sample.t;
+  prev_updates_ = sample.updates;
+  if (sample.t >= next_) next_ = sample.t + cadence_;
+  samples_.push_back(sample);
+}
+
+void Timeline::write_jsonl(std::FILE* out,
+                           const std::string& extra_fields) const {
+  for (const Sample& s : samples_) {
+    std::fprintf(out, "{\"t\":%.9g,", s.t);
+    if (!extra_fields.empty()) std::fprintf(out, "%s,", extra_fields.c_str());
+    std::fprintf(out,
+                 "\"updates\":%llu,\"updates_per_sec\":%.9g,"
+                 "\"fib_entries\":%llu,\"frac_filtered\":%.9g,"
+                 "\"queue_depth\":%zu}\n",
+                 static_cast<unsigned long long>(s.updates), s.updates_per_sec,
+                 static_cast<unsigned long long>(s.fib_entries),
+                 s.frac_filtered, s.queue_depth);
+  }
+}
+
+}  // namespace dragon::obs

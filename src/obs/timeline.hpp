@@ -1,0 +1,69 @@
+// Convergence timeline probe.
+//
+// A Timeline samples the simulator's externally visible state on a fixed
+// sim-time cadence while run_until_quiescent drains events: cumulative
+// update count (from which it derives updates/sec), installed FIB
+// entries, the fraction of elected routes DRAGON is filtering, and the
+// event-queue depth.  The convergence benches attach one per trial and
+// dump the per-trial time series as JSONL, turning the Fig. 9 study's
+// end-state aggregates into full timelines.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dragon::obs {
+
+class Timeline {
+ public:
+  struct Sample {
+    double t = 0.0;
+    /// Cumulative updates (announcements + withdrawals) at `t`.
+    std::uint64_t updates = 0;
+    /// Update rate over the window ending at `t`.
+    double updates_per_sec = 0.0;
+    /// Installed forwarding entries, network-wide.
+    std::uint64_t fib_entries = 0;
+    /// filtered / (filtered + installed): the share of elected routes
+    /// DRAGON keeps out of FIBs.
+    double frac_filtered = 0.0;
+    std::size_t queue_depth = 0;
+  };
+
+  explicit Timeline(double cadence);
+
+  /// Clears samples and (re)starts the sampling grid at `start_time`:
+  /// the first sample is due at start_time + cadence.
+  void begin(double start_time);
+
+  [[nodiscard]] double cadence() const noexcept { return cadence_; }
+  /// The next grid time a sample is due at.
+  [[nodiscard]] double next_due() const noexcept { return next_; }
+  [[nodiscard]] bool due(double t) const noexcept { return t >= next_; }
+
+  /// Appends a sample.  The caller sets `sample.t` (normally
+  /// `next_due()`, or the actual end time for a final sample) and the
+  /// cumulative/state fields; `updates_per_sec` is derived here from the
+  /// previous sample, and the grid advances past `sample.t`.
+  void push(Sample sample);
+
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// One JSONL line per sample.  `extra_fields` (e.g.
+  /// "\"trial\":3,\"mode\":\"dragon\"") is spliced into every object;
+  /// pass "" for none.
+  void write_jsonl(std::FILE* out, const std::string& extra_fields) const;
+
+ private:
+  double cadence_;
+  double next_ = 0.0;
+  double prev_t_ = 0.0;
+  std::uint64_t prev_updates_ = 0;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace dragon::obs

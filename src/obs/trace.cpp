@@ -1,0 +1,183 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+namespace dragon::obs {
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kAnnounce: return "announce";
+    case EventKind::kWithdraw: return "withdraw";
+    case EventKind::kRecvAnnounce: return "recv_announce";
+    case EventKind::kRecvWithdraw: return "recv_withdraw";
+    case EventKind::kElect: return "elect";
+    case EventKind::kFilter: return "filter";
+    case EventKind::kUnfilter: return "unfilter";
+    case EventKind::kFibInstall: return "fib_install";
+    case EventKind::kFibRemove: return "fib_remove";
+    case EventKind::kMraiFlush: return "mrai_flush";
+    case EventKind::kRaViolation: return "ra_violation";
+    case EventKind::kDeaggregate: return "deaggregate";
+    case EventKind::kReaggregate: return "reaggregate";
+    case EventKind::kDowngrade: return "downgrade";
+    case EventKind::kAggOriginate: return "agg_originate";
+    case EventKind::kAggStop: return "agg_stop";
+    case EventKind::kLinkFail: return "link_fail";
+    case EventKind::kLinkRestore: return "link_restore";
+  }
+  return "unknown";
+}
+
+std::string TraceRecord::to_json() const {
+  char buf[96];
+  std::string out;
+  out.reserve(96);
+  std::snprintf(buf, sizeof(buf), "{\"t\":%.9g,\"kind\":\"%s\",\"node\":%u",
+                sim_time, to_string(kind), node);
+  out += buf;
+  if (peer >= 0) {
+    std::snprintf(buf, sizeof(buf), ",\"peer\":%lld",
+                  static_cast<long long>(peer));
+    out += buf;
+  }
+  if (has_prefix) {
+    out += ",\"prefix\":\"";
+    out += prefix.to_bit_string();
+    out += '"';
+  }
+  if (has_attr) {
+    std::snprintf(buf, sizeof(buf), ",\"attr\":%u", attr);
+    out += buf;
+  }
+  out += '}';
+  return out;
+}
+
+EventTracer::EventTracer(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+EventTracer::~EventTracer() {
+  flush();
+  close_sink();
+}
+
+void EventTracer::close_sink() noexcept {
+  if (sink_ != nullptr) {
+    std::fclose(sink_);
+    sink_ = nullptr;
+  }
+}
+
+bool EventTracer::open_sink(const std::string& path) {
+  flush();
+  close_sink();
+  sink_ = std::fopen(path.c_str(), "w");
+  return sink_ != nullptr;
+}
+
+void EventTracer::push(const TraceRecord& rec) {
+  ++recorded_;
+  if (size_ == ring_.size()) {
+    if (sink_ != nullptr) {
+      flush();
+    } else {
+      // Wrap: overwrite the oldest record.
+      ring_[head_] = rec;
+      head_ = (head_ + 1) % ring_.size();
+      ++dropped_;
+      return;
+    }
+  }
+  ring_[(head_ + size_) % ring_.size()] = rec;
+  ++size_;
+}
+
+void EventTracer::record(double sim_time, EventKind kind, std::uint32_t node) {
+  TraceRecord rec;
+  rec.sim_time = sim_time;
+  rec.kind = kind;
+  rec.node = node;
+  push(rec);
+}
+
+void EventTracer::record(double sim_time, EventKind kind, std::uint32_t node,
+                         std::int64_t peer) {
+  TraceRecord rec;
+  rec.sim_time = sim_time;
+  rec.kind = kind;
+  rec.node = node;
+  rec.peer = peer;
+  push(rec);
+}
+
+void EventTracer::record(double sim_time, EventKind kind, std::uint32_t node,
+                         const prefix::Prefix& p) {
+  TraceRecord rec;
+  rec.sim_time = sim_time;
+  rec.kind = kind;
+  rec.node = node;
+  rec.prefix = p;
+  rec.has_prefix = true;
+  push(rec);
+}
+
+void EventTracer::record(double sim_time, EventKind kind, std::uint32_t node,
+                         const prefix::Prefix& p, std::uint32_t attr) {
+  TraceRecord rec;
+  rec.sim_time = sim_time;
+  rec.kind = kind;
+  rec.node = node;
+  rec.prefix = p;
+  rec.has_prefix = true;
+  rec.attr = attr;
+  rec.has_attr = true;
+  push(rec);
+}
+
+void EventTracer::record(double sim_time, EventKind kind, std::uint32_t node,
+                         std::int64_t peer, const prefix::Prefix& p,
+                         std::uint32_t attr) {
+  TraceRecord rec;
+  rec.sim_time = sim_time;
+  rec.kind = kind;
+  rec.node = node;
+  rec.peer = peer;
+  rec.prefix = p;
+  rec.has_prefix = true;
+  rec.attr = attr;
+  rec.has_attr = true;
+  push(rec);
+}
+
+void EventTracer::note(const std::string& json_line) {
+  if (sink_ == nullptr) return;
+  flush();
+  std::fwrite(json_line.data(), 1, json_line.size(), sink_);
+  std::fputc('\n', sink_);
+}
+
+void EventTracer::flush() {
+  if (sink_ == nullptr) return;
+  for_each([this](const TraceRecord& rec) {
+    const std::string line = rec.to_json();
+    std::fwrite(line.data(), 1, line.size(), sink_);
+    std::fputc('\n', sink_);
+  });
+  size_ = 0;
+  head_ = 0;
+  std::fflush(sink_);
+}
+
+void EventTracer::clear() noexcept {
+  size_ = 0;
+  head_ = 0;
+}
+
+void EventTracer::for_each(
+    const std::function<void(const TraceRecord&)>& fn) const {
+  for (std::size_t i = 0; i < size_; ++i) {
+    fn(ring_[(head_ + i) % ring_.size()]);
+  }
+}
+
+}  // namespace dragon::obs

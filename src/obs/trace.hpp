@@ -1,0 +1,143 @@
+// Structured event tracing for the protocol engine.
+//
+// The engine emits typed records {sim_time, node, prefix, event_kind,
+// attr} into an EventTracer's ring buffer at every externally relevant
+// transition (message send/receive, election change, filter flip, FIB
+// delta, MRAI flush, RA action, link event).  Records are flushed to a
+// JSONL sink — one JSON object per line — either on demand or
+// automatically whenever the ring fills while a sink is attached.  With
+// no sink attached the ring wraps, overwriting the oldest records and
+// counting the drops, so an always-on tracer stays bounded.
+//
+// Emission sites are wrapped in DRAGON_TRACE_EVENT, which compiles to
+// nothing when the library is built with -DDRAGON_TRACE=0 (CMake option
+// DRAGON_TRACE), so the zero-tracer configuration has literally no
+// instrumentation cost on the hot paths.
+//
+// JSONL schema (DESIGN.md "Observability"):
+//   {"t":<sim seconds>,"kind":"<event>","node":<id>
+//    [,"peer":<id>][,"prefix":"<bit string>"][,"attr":<u32>]}
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "prefix/prefix.hpp"
+
+#ifndef DRAGON_TRACE
+#define DRAGON_TRACE 1
+#endif
+
+#if DRAGON_TRACE
+#define DRAGON_TRACE_EVENT(tracer, ...)               \
+  do {                                                \
+    auto* dragon_trace_sink_ = (tracer);              \
+    if (dragon_trace_sink_ != nullptr) {              \
+      dragon_trace_sink_->record(__VA_ARGS__);        \
+    }                                                 \
+  } while (0)
+#else
+#define DRAGON_TRACE_EVENT(tracer, ...) ((void)0)
+#endif
+
+namespace dragon::obs {
+
+enum class EventKind : std::uint8_t {
+  kAnnounce,      // update put on the wire
+  kWithdraw,      // withdrawal put on the wire
+  kRecvAnnounce,  // update delivered (post import policy)
+  kRecvWithdraw,  // withdrawal delivered
+  kElect,         // elected attribute changed
+  kFilter,        // DRAGON code CR started filtering the prefix
+  kUnfilter,      // ... stopped filtering
+  kFibInstall,    // forwarding entry installed
+  kFibRemove,     // forwarding entry removed
+  kMraiFlush,     // an MRAI batch left for a peer
+  kRaViolation,   // rule RA found a violating more-specific
+  kDeaggregate,   // origin de-aggregated its block (§3.8)
+  kReaggregate,   // origin restored the aggregate
+  kDowngrade,     // origin downgraded the root announcement (§3.9)
+  kAggOriginate,  // §3.7 self-organised aggregate origination
+  kAggStop,       // ... withdrawn again
+  kLinkFail,
+  kLinkRestore,
+};
+
+[[nodiscard]] const char* to_string(EventKind kind) noexcept;
+
+struct TraceRecord {
+  double sim_time = 0.0;
+  std::uint32_t node = 0;
+  /// Peer node for message/link events; -1 when not applicable.
+  std::int64_t peer = -1;
+  prefix::Prefix prefix;
+  bool has_prefix = false;
+  EventKind kind = EventKind::kAnnounce;
+  std::uint32_t attr = 0;
+  bool has_attr = false;
+
+  /// The record as a single JSON object (no trailing newline).
+  [[nodiscard]] std::string to_json() const;
+};
+
+class EventTracer {
+ public:
+  explicit EventTracer(std::size_t capacity = 1 << 16);
+  ~EventTracer();
+
+  EventTracer(const EventTracer&) = delete;
+  EventTracer& operator=(const EventTracer&) = delete;
+
+  /// Opens `path` as the JSONL sink (truncates).  Returns false on I/O
+  /// failure.  The file is closed on destruction or re-open.
+  bool open_sink(const std::string& path);
+  [[nodiscard]] bool has_sink() const noexcept { return sink_ != nullptr; }
+
+  void record(double sim_time, EventKind kind, std::uint32_t node);
+  void record(double sim_time, EventKind kind, std::uint32_t node,
+              std::int64_t peer);
+  void record(double sim_time, EventKind kind, std::uint32_t node,
+              const prefix::Prefix& p);
+  void record(double sim_time, EventKind kind, std::uint32_t node,
+              const prefix::Prefix& p, std::uint32_t attr);
+  void record(double sim_time, EventKind kind, std::uint32_t node,
+              std::int64_t peer, const prefix::Prefix& p, std::uint32_t attr);
+  void push(const TraceRecord& rec);
+
+  /// Writes a bench-authored annotation line to the sink (e.g.
+  /// {"kind":"trial_end",...}) after draining the ring, so annotations
+  /// interleave in order with traced events.  No-op without a sink.
+  void note(const std::string& json_line);
+
+  /// Drains buffered records to the sink.  No-op without a sink.
+  void flush();
+
+  /// Drops all buffered records without writing them.
+  void clear() noexcept;
+
+  /// Records currently buffered (not yet flushed / overwritten).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Records overwritten because the ring wrapped with no sink attached.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Total records ever recorded.
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+
+  /// Visits buffered records oldest-first.
+  void for_each(const std::function<void(const TraceRecord&)>& fn) const;
+
+ private:
+  void close_sink() noexcept;
+
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;  // index of the oldest record
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::FILE* sink_ = nullptr;
+};
+
+}  // namespace dragon::obs

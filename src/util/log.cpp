@@ -1,13 +1,25 @@
 #include "util/log.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 namespace dragon::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+
+/// Monotonic seconds since the first log call (steady clock, so the
+/// timestamps never jump backwards under wall-clock adjustments).
+double monotonic_seconds() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept {
@@ -20,12 +32,41 @@ LogLevel log_level() noexcept {
 
 void logf(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
-  std::fprintf(stderr, "[%s] ", kNames[static_cast<int>(level)]);
+
+  // Format the full line into one buffer and write it with a single
+  // locked fwrite, so lines from concurrent callers never interleave.
+  char head[48];
+  const int head_len =
+      std::snprintf(head, sizeof(head), "[%s %.3f] ",
+                    kNames[static_cast<int>(level)], monotonic_seconds());
+
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  char stack_buf[512];
+  const int body_len = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (body_len < 0) {
+    va_end(args_copy);
+    return;
+  }
+
+  std::vector<char> line(static_cast<std::size_t>(head_len) +
+                         static_cast<std::size_t>(body_len) + 1);
+  std::copy(head, head + head_len, line.begin());
+  if (static_cast<std::size_t>(body_len) < sizeof(stack_buf)) {
+    std::copy(stack_buf, stack_buf + body_len, line.begin() + head_len);
+  } else {
+    std::vsnprintf(line.data() + head_len,
+                   static_cast<std::size_t>(body_len) + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  line[line.size() - 1] = '\n';
+
+  flockfile(stderr);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  funlockfile(stderr);
 }
 
 }  // namespace dragon::util

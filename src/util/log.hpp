@@ -1,5 +1,10 @@
 // Tiny leveled logger writing to stderr.  The protocol engine logs at debug
 // level when tracing message exchanges; benches log progress at info level.
+//
+// Each line is prefixed with "[LEVEL <seconds>] " where <seconds> is a
+// monotonic (steady-clock) timestamp with millisecond resolution counted
+// from the first log call, and the whole line is written under the
+// stderr stream lock so concurrent callers never interleave mid-line.
 #pragma once
 
 #include <cstdarg>

@@ -448,5 +448,141 @@ TEST(DragonEngine, FewerUpdatesThanBgpAcrossFailures) {
   EXPECT_GT(bgp_total, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Observability wiring
+// ---------------------------------------------------------------------------
+
+// The Stats façade must agree, field by field, with the registry counters
+// it is materialised from — on the Figure 2 network, where rule RA fires
+// (the origin of p sits below the origin of q, §3.2).
+TEST(Observability, StatsFacadeAgreesWithRegistry) {
+  using F2 = testing::Figure2;
+  const auto topo = F2::topology();
+  GrPathAlgebra alg;
+  Simulator sim(topo, alg, dragon_config());
+  sim.originate(bp("1"), F2::origin_q, kOriginAttr);    // q at u1
+  sim.originate(bp("10"), F2::origin_p, kOriginAttr);   // p at u3
+  sim.run_until_quiescent();
+
+  const auto check_agreement = [&] {
+    const Stats facade = sim.stats();
+    const auto& reg = sim.metrics();
+    const auto counter = [&](const char* name) -> std::uint64_t {
+      const auto* c = reg.find_counter(name);
+      EXPECT_NE(c, nullptr) << name;
+      return c != nullptr ? c->value() : 0;
+    };
+    ASSERT_EQ(facade.announcements, counter("dragon.engine.announcements"));
+    ASSERT_EQ(facade.withdrawals, counter("dragon.engine.withdrawals"));
+    ASSERT_EQ(facade.deaggregations,
+              counter("dragon.dragon.deaggregations"));
+    ASSERT_EQ(facade.reaggregations,
+              counter("dragon.dragon.reaggregations"));
+    ASSERT_EQ(facade.downgrades, counter("dragon.dragon.downgrades"));
+    ASSERT_EQ(facade.agg_originations,
+              counter("dragon.dragon.agg_originations"));
+  };
+  check_agreement();
+  EXPECT_GT(sim.stats().announcements, 0u);
+
+  // The per-class update counters partition the update total.
+  const auto class_total =
+      sim.metrics().find_counter("dragon.engine.updates.class.stub")->value() +
+      sim.metrics()
+          .find_counter("dragon.engine.updates.class.transit")
+          ->value() +
+      sim.metrics().find_counter("dragon.engine.updates.class.tier1")->value();
+  EXPECT_EQ(class_total, sim.stats().updates());
+
+  // Still in agreement after a reset and another convergence episode.
+  sim.reset_stats();
+  check_agreement();
+  EXPECT_EQ(sim.stats().updates(), 0u);
+  sim.fail_link(F2::u2, F2::u3);
+  sim.run_until_quiescent();
+  check_agreement();
+}
+
+// The fib_entries gauge tracks the per-node fib_size() sum exactly, and
+// survives reset_stats() (it is state, not an accumulator).
+TEST(Observability, FibGaugeMatchesFibSizes) {
+  const auto topo = F1::topology();
+  GrPathAlgebra alg;
+  Simulator sim(topo, alg, dragon_config());
+  sim.originate(bp("10"), F1::origin_p, kOriginAttr);
+  sim.originate(bp("10000"), F1::origin_q, kOriginAttr);
+  sim.run_until_quiescent();
+
+  const auto fib_sum = [&] {
+    std::size_t sum = 0;
+    for (NodeId u = 0; u < topo.node_count(); ++u) sum += sim.fib_size(u);
+    return sum;
+  };
+  const auto* gauge = sim.metrics().find_gauge("dragon.engine.fib_entries");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(static_cast<std::size_t>(gauge->value()), fib_sum());
+
+  sim.reset_stats();
+  EXPECT_EQ(static_cast<std::size_t>(gauge->value()), fib_sum());
+
+  sim.fail_link(F1::u4, F1::u6);
+  sim.run_until_quiescent();
+  EXPECT_EQ(static_cast<std::size_t>(gauge->value()), fib_sum());
+}
+
+#if DRAGON_TRACE
+// An attached tracer sees the convergence episode: sends, receipts,
+// elections, FIB installs; record times are monotone overall (the engine
+// emits in event order).
+TEST(Observability, TracerCapturesConvergence) {
+  const auto topo = F1::topology();
+  GrPathAlgebra alg;
+  Simulator sim(topo, alg, dragon_config());
+  obs::EventTracer tracer(1 << 12);
+  sim.set_tracer(&tracer);
+  sim.originate(bp("10"), F1::origin_p, kOriginAttr);
+  sim.run_until_quiescent();
+
+  std::uint64_t announces = 0, installs = 0;
+  double last_t = -1.0;
+  bool monotone = true;
+  tracer.for_each([&](const obs::TraceRecord& r) {
+    if (r.kind == obs::EventKind::kAnnounce) ++announces;
+    if (r.kind == obs::EventKind::kFibInstall) ++installs;
+    if (r.sim_time < last_t) monotone = false;
+    last_t = r.sim_time;
+  });
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(announces, sim.stats().announcements);
+  // Everybody installs the one prefix.
+  EXPECT_EQ(installs, topo.node_count());
+}
+#endif  // DRAGON_TRACE
+
+// A timeline attached before convergence produces samples with monotone
+// times and non-decreasing cumulative update counts, ending at the
+// final FIB state.
+TEST(Observability, TimelineSamplesConvergence) {
+  const auto topo = F1::topology();
+  GrPathAlgebra alg;
+  Simulator sim(topo, alg, bgp_config());
+  obs::Timeline timeline(0.005);  // half a link delay, so grid ticks fire
+  sim.attach_timeline(&timeline);
+  sim.originate(bp("10"), F1::origin_p, kOriginAttr);
+  sim.run_until_quiescent();
+  sim.attach_timeline(nullptr);
+
+  const auto& samples = timeline.samples();
+  ASSERT_GE(samples.size(), 2u);  // at least one grid tick + the final
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].t, samples[i - 1].t);
+    EXPECT_GE(samples[i].updates, samples[i - 1].updates);
+  }
+  const auto& last = samples.back();
+  EXPECT_EQ(last.updates, sim.stats().updates());
+  EXPECT_EQ(last.fib_entries, topo.node_count());  // one prefix, all install
+  EXPECT_EQ(last.queue_depth, 0u);
+}
+
 }  // namespace
 }  // namespace dragon::engine

@@ -2,10 +2,13 @@
 
 #include <cmath>
 #include <numeric>
+#include <regex>
+#include <string>
 
 #include "stats/ccdf.hpp"
 #include "stats/table.hpp"
 #include "util/flags.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 
 namespace dragon {
@@ -145,6 +148,65 @@ TEST(Flags, DefaultsApplyWithoutArgs) {
 TEST(Flags, UndeclaredLookupThrows) {
   util::Flags flags;
   EXPECT_THROW((void)flags.str("nope"), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Logging
+// ---------------------------------------------------------------------------
+
+TEST(Log, LinePrefixHasLevelAndMonotonicTimestamp) {
+  const auto saved = util::log_level();
+  util::set_log_level(util::LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  DRAGON_LOG_INFO("hello %d", 42);
+  DRAGON_LOG_WARN("watch out");
+  DRAGON_LOG_DEBUG("fine print");
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  util::set_log_level(saved);
+
+  // Each line: "[LEVEL <seconds>.<millis>] <message>\n", one line per call.
+  const std::regex line_re(
+      R"(\[(DEBUG|INFO|WARN|ERROR) [0-9]+\.[0-9]{3}\] [^\n]*\n)");
+  const std::regex full_re(
+      R"(\[INFO [0-9]+\.[0-9]{3}\] hello 42\n)"
+      R"(\[WARN [0-9]+\.[0-9]{3}\] watch out\n)"
+      R"(\[DEBUG [0-9]+\.[0-9]{3}\] fine print\n)");
+  EXPECT_TRUE(std::regex_match(out, full_re)) << out;
+
+  // Timestamps are monotonic non-decreasing across the three lines.
+  std::vector<double> stamps;
+  for (auto it = std::sregex_iterator(out.begin(), out.end(), line_re);
+       it != std::sregex_iterator(); ++it) {
+    const std::string line = it->str();
+    stamps.push_back(std::stod(line.substr(line.find(' ') + 1)));
+  }
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_LE(stamps[0], stamps[1]);
+  EXPECT_LE(stamps[1], stamps[2]);
+}
+
+TEST(Log, LevelFilterDropsBelowThreshold) {
+  const auto saved = util::log_level();
+  util::set_log_level(util::LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  DRAGON_LOG_INFO("should not appear");
+  DRAGON_LOG_WARN("should appear");
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  util::set_log_level(saved);
+  EXPECT_EQ(out.find("should not appear"), std::string::npos);
+  EXPECT_NE(out.find("should appear"), std::string::npos);
+}
+
+TEST(Log, LongMessagesSurviveTheStackBuffer) {
+  const auto saved = util::log_level();
+  util::set_log_level(util::LogLevel::kInfo);
+  const std::string payload(2000, 'x');  // larger than the stack buffer
+  ::testing::internal::CaptureStderr();
+  DRAGON_LOG_INFO("%s", payload.c_str());
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  util::set_log_level(saved);
+  EXPECT_NE(out.find(payload), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
 }
 
 // ---------------------------------------------------------------------------
