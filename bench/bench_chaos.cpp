@@ -1,0 +1,264 @@
+// Chaos harness — recovery behaviour under seeded fault schedules.
+//
+// Sweeps correlated-failure burst sizes over a synthetic Internet: each
+// schedule converges a DRAGON network, replays a generated FaultPlan
+// (link failures/restorations, node outages, origin flaps, optional
+// message loss/duplication/reorder), re-converges under the watchdog,
+// and then audits the quiescent state with the full invariant suite and
+// the differential oracle.  Reported per burst size:
+//   * recovery time from the first and from the last fault action to
+//     quiescence (the paper's §5.3 transient-behaviour axis);
+//   * update volume (announcements + withdrawals) per schedule;
+//   * de-aggregation / re-aggregation / downgrade activity (§3.8-§3.9).
+// Any violation prints the schedule seed and the full plan JSON (enough
+// to replay the failure exactly) plus the event-trace tail, and exits
+// non-zero — this harness doubles as a long-running fuzzer.
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "algebra/gr_path_algebra.hpp"
+#include "chaos/fault_plan.hpp"
+#include "chaos/invariants.hpp"
+#include "chaos/oracle.hpp"
+#include "chaos/watchdog.hpp"
+#include "engine/simulator.hpp"
+#include "obs/trace.hpp"
+#include "stats/ccdf.hpp"
+#include "stats/table.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dragon;
+using algebra::GrClass;
+using algebra::GrPathAlgebra;
+
+constexpr algebra::Attr kOriginAttr = GrPathAlgebra::make(GrClass::kCustomer, 0);
+
+engine::Config make_config(const util::Flags& flags, std::uint64_t seed) {
+  engine::Config config;
+  config.mrai = flags.f64("mrai");
+  config.link_delay = 0.01;
+  config.enable_dragon = true;
+  // §5.3: the convergence study (and this harness, which runs at the same
+  // scale) keeps self-organised re-aggregation off.
+  config.enable_reaggregation = false;
+  config.seed = seed;
+  config.faults.loss = flags.f64("msg-loss");
+  config.faults.duplicate = flags.f64("msg-dup");
+  config.faults.delay_prob = flags.f64("msg-delay-prob");
+  config.l_attr = [](algebra::Attr a) {
+    return static_cast<std::uint32_t>(GrPathAlgebra::class_of(a));
+  };
+  return config;
+}
+
+std::vector<std::size_t> parse_bursts(const std::string& spec) {
+  std::vector<std::size_t> out;
+  std::size_t value = 0;
+  bool have = false;
+  for (const char c : spec + ",") {
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+      have = true;
+    } else if (have) {
+      if (value > 0) out.push_back(value);
+      value = 0;
+      have = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  bench::define_scenario_flags(flags);
+  bench::define_obs_flags(flags);
+  flags.define("schedules", "40", "fault schedules per burst size");
+  flags.define("bursts", "1,2,4", "correlated-burst sizes to sweep");
+  flags.define("events", "5", "fault events per schedule");
+  flags.define("horizon", "120", "fault window length (sim seconds)");
+  flags.define("prefixes", "12", "originations sampled from the assignment");
+  flags.define("mrai", "5", "MRAI (sim seconds; small keeps recovery sharp)");
+  flags.define("restore-prob", "0.6", "P(failed link/node gets restored)");
+  flags.define("node-fault-prob", "0.2", "P(event downs a whole node)");
+  flags.define("origin-flap-prob", "0.15", "P(event flaps an origination)");
+  flags.define("msg-loss", "0", "P(update dropped and retransmitted)");
+  flags.define("msg-dup", "0", "P(update delivered twice)");
+  flags.define("msg-delay-prob", "0", "P(update gets extra one-way delay)");
+  flags.define("invariant-sources", "96",
+               "forwarding-walk source nodes sampled per audit");
+  flags.define("strict", "true",
+               "oracle compares raw attributes (exact for GR algebras)");
+  flags.define("trace-file", "",
+               "write the structured event trace (JSONL) here");
+  if (!flags.parse(argc, argv)) return 1;
+  flags.print_config("bench_chaos");
+  bench::apply_obs_flags(flags);
+
+  const auto bursts = parse_bursts(flags.str("bursts"));
+  if (bursts.empty()) {
+    std::fprintf(stderr, "no burst sizes in --bursts=%s\n",
+                 flags.str("bursts").c_str());
+    return 1;
+  }
+
+  obs::MetricsRegistry agg, bench_metrics;
+  obs::EventTracer tracer(1 << 16);
+  const bool tracing = !flags.str("trace-file").empty();
+  if (tracing) {
+    if (!tracer.open_sink(flags.str("trace-file"))) {
+      std::fprintf(stderr, "cannot open --trace-file %s\n",
+                   flags.str("trace-file").c_str());
+      return 1;
+    }
+    // Reproducibility header: the trace replays from its own first line.
+    tracer.note(bench::run_meta_json("bench_chaos", flags.u64("seed")));
+  }
+
+  const auto scenario = bench::build_scenario(flags);
+  const auto& topo = scenario.generated.graph;
+  addressing::AssignmentCleanReport clean_report;
+  const auto cleaned =
+      addressing::clean_assignment(topo, scenario.assignment, &clean_report);
+
+  // The origination working set: the first --prefixes distinct cleaned
+  // prefixes.  Deterministic, and biased towards registry-pool order, so
+  // parent/child (delegation) pairs are well represented — those are the
+  // ones rule RA acts on.
+  std::vector<chaos::OriginSpec> origins;
+  std::set<prefix::Prefix> used;
+  for (std::size_t i = 0;
+       i < cleaned.size() && origins.size() < flags.u64("prefixes"); ++i) {
+    if (used.insert(cleaned.prefixes[i]).second) {
+      origins.push_back({cleaned.prefixes[i], cleaned.origin[i], kOriginAttr});
+    }
+  }
+  std::printf("# %zu originations over %zu cleaned prefixes\n", origins.size(),
+              cleaned.size());
+  if (origins.empty()) {
+    std::fprintf(stderr, "assignment produced no usable originations\n");
+    return 1;
+  }
+
+  GrPathAlgebra alg;
+  util::Rng trial_master(scenario.trial_seed);
+
+  struct BurstRow {
+    std::size_t burst = 0;
+    std::vector<double> recovery_first;  // quiescence - first action
+    std::vector<double> recovery_last;   // quiescence - last action
+    std::vector<double> updates;
+    std::uint64_t deaggregations = 0;
+    std::uint64_t msgs_lost = 0;
+  };
+  std::vector<BurstRow> rows;
+
+  for (const std::size_t burst : bursts) {
+    BurstRow row;
+    row.burst = burst;
+    // Schedule seeds fork off the trial stream once per burst size, so
+    // adding burst sizes never perturbs the earlier sweeps.
+    util::Rng burst_rng = trial_master.fork();
+    for (std::uint64_t s = 0; s < flags.u64("schedules"); ++s) {
+      const std::uint64_t seed = burst_rng();
+      engine::Simulator sim(topo, alg, make_config(flags, seed));
+      if (tracing) sim.set_tracer(&tracer);
+      for (const auto& o : origins) sim.originate(o.prefix, o.origin, o.attr);
+      auto run = chaos::run_to_quiescence(sim);
+      if (!run.quiescent) {
+        std::fprintf(stderr, "initial convergence stalled (seed=%llu)\n%s",
+                     static_cast<unsigned long long>(seed),
+                     run.diagnostics.c_str());
+        return 1;
+      }
+
+      chaos::PlanParams params;
+      params.start = sim.now();
+      params.horizon = flags.f64("horizon");
+      params.events = flags.u64("events");
+      params.burst = burst;
+      params.restore_prob = flags.f64("restore-prob");
+      params.node_fault_prob = flags.f64("node-fault-prob");
+      params.origin_flap_prob = flags.f64("origin-flap-prob");
+      const chaos::FaultPlan plan =
+          chaos::generate_plan(topo, origins, params, seed);
+      if (plan.actions.empty()) continue;
+      const double first_action = plan.actions.front().t;
+
+      sim.reset_stats();
+      chaos::schedule_plan(sim, plan);
+      run = chaos::run_to_quiescence(sim);
+      const auto fail = [&](const char* what, const std::string& detail) {
+        std::fprintf(stderr,
+                     "CHAOS VIOLATION (%s)\n  burst=%zu seed=%llu\n%s\n"
+                     "  replay plan: %s\n",
+                     what, burst, static_cast<unsigned long long>(seed),
+                     detail.c_str(), plan.to_json().c_str());
+        tracer.flush();
+        return 1;
+      };
+      if (!run.quiescent) return fail("watchdog", run.diagnostics);
+
+      chaos::InvariantOptions iopts;
+      iopts.max_sources = flags.u64("invariant-sources");
+      const auto report = chaos::check_invariants(sim, iopts);
+      if (!report.ok()) return fail("invariants", report.to_string());
+      chaos::OracleOptions oopts;
+      oopts.strict_attrs = flags.boolean("strict");
+      const auto oracle = chaos::differential_check(sim, {}, oopts);
+      if (!oracle.match) return fail("oracle", oracle.to_string());
+
+      const auto stats = sim.stats();
+      row.recovery_first.push_back(run.end_time - first_action);
+      row.recovery_last.push_back(run.end_time - plan.last_time());
+      row.updates.push_back(static_cast<double>(stats.updates()));
+      row.deaggregations += stats.deaggregations;
+      if (const auto* lost =
+              sim.metrics().find_counter("dragon.engine.msgs_lost")) {
+        row.msgs_lost += lost->value();
+      }
+      agg.merge_from(sim.metrics());
+      char name[64];
+      std::snprintf(name, sizeof name, "chaos.recovery_ms.burst.%zu", burst);
+      bench_metrics.histogram(name)->observe(
+          static_cast<std::uint64_t>(row.recovery_last.back() * 1e3));
+      std::snprintf(name, sizeof name, "chaos.updates.burst.%zu", burst);
+      bench_metrics.histogram(name)->observe(stats.updates());
+      bench_metrics.counter("chaos.schedules")->inc();
+      if (tracing) sim.set_tracer(nullptr);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  stats::Table table({"burst", "schedules", "recovery p50 (s)",
+                      "recovery p90 (s)", "recovery-from-first p90 (s)",
+                      "updates p50", "updates max", "deagg", "msgs lost"});
+  for (const auto& row : rows) {
+    table.add_row(
+        {std::to_string(row.burst), std::to_string(row.recovery_last.size()),
+         stats::format_number(stats::percentile(row.recovery_last, 0.5)),
+         stats::format_number(stats::percentile(row.recovery_last, 0.9)),
+         stats::format_number(stats::percentile(row.recovery_first, 0.9)),
+         stats::format_number(stats::percentile(row.updates, 0.5)),
+         stats::format_number(stats::max_of(row.updates)),
+         std::to_string(row.deaggregations), std::to_string(row.msgs_lost)});
+  }
+  table.print();
+
+  tracer.flush();
+  if (!flags.str("metrics-json").empty()) {
+    bench::write_metrics_json(
+        flags.str("metrics-json"),
+        {{"bench", &bench_metrics}, {"engine", &agg}},
+        bench::run_meta_json("bench_chaos", flags.u64("seed")));
+  }
+  std::puts("# all schedules passed invariants and the differential oracle");
+  return 0;
+}

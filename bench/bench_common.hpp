@@ -17,6 +17,7 @@
 #include "topology/generator.hpp"
 #include "util/flags.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace dragon::bench {
 
@@ -47,12 +48,25 @@ inline void apply_obs_flags(const util::Flags& flags) {
   if (flags.boolean("profile")) obs::profiling_enable(true);
 }
 
-/// Writes `{"<name>":<registry json>,...}` to `path`.  Returns false
-/// (and warns) on I/O failure.
+/// The reproducibility header benches prepend to their JSON artifacts:
+/// harness name plus the master seed, so every dump replays from the
+/// file alone.
+inline std::string run_meta_json(const char* bench_name,
+                                 std::uint64_t seed) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "{\"bench\":\"%s\",\"seed\":%llu}",
+                bench_name, static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+/// Writes `{"meta":<meta>,"<name>":<registry json>,...}` to `path` (the
+/// meta section is skipped when empty).  Returns false (and warns) on I/O
+/// failure.
 inline bool write_metrics_json(
     const std::string& path,
     const std::vector<std::pair<std::string, const obs::MetricsRegistry*>>&
-        sections) {
+        sections,
+    const std::string& meta = {}) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     DRAGON_LOG_WARN("cannot open --metrics-json path %s", path.c_str());
@@ -60,6 +74,10 @@ inline bool write_metrics_json(
   }
   std::fputc('{', f);
   bool first = true;
+  if (!meta.empty()) {
+    std::fprintf(f, "\"meta\":%s", meta.c_str());
+    first = false;
+  }
   for (const auto& [name, registry] : sections) {
     if (!first) std::fputc(',', f);
     first = false;
@@ -75,16 +93,25 @@ struct Scenario {
   topology::GeneratedTopology generated;
   addressing::Assignment assignment;
   addressing::AssignmentStats stats;
+  /// Seed for the harness's own trial sampling (failure draws, tree
+  /// shuffles), forked from the master seed alongside the topology and
+  /// assignment streams.
+  std::uint64_t trial_seed = 0;
 };
 
-/// Builds a scenario from parsed flags.  Deterministic in --seed.
+/// Builds a scenario from parsed flags.  Deterministic in --seed: the
+/// master seed is expanded through one util::Rng into independent
+/// per-subsystem seeds (topology, assignment, trials), so no two
+/// subsystems ever share a stream and adding a consumer cannot silently
+/// shift another's draws (the old `seed + k` offsets could collide).
 inline Scenario build_scenario(const util::Flags& flags) {
+  util::Rng master(flags.u64("seed"));
   topology::GeneratorParams tparams;
   tparams.tier1_count = static_cast<std::uint32_t>(flags.u64("tier1"));
   tparams.transit_count = static_cast<std::uint32_t>(flags.u64("transit"));
   tparams.stub_count = static_cast<std::uint32_t>(flags.u64("stubs"));
   tparams.regions = static_cast<std::uint32_t>(flags.u64("regions"));
-  tparams.seed = flags.u64("seed");
+  tparams.seed = master();
   if (flags.boolean("paper-scale")) {
     tparams.tier1_count = 12;
     tparams.transit_count = 5200;
@@ -95,9 +122,10 @@ inline Scenario build_scenario(const util::Flags& flags) {
   scenario.generated = topology::generate_internet(tparams);
 
   addressing::AssignmentParams aparams;
-  aparams.seed = flags.u64("seed") + 1;
+  aparams.seed = master();
   scenario.assignment =
       addressing::generate_assignment(scenario.generated, aparams);
+  scenario.trial_seed = master();
   scenario.stats = addressing::compute_stats(
       scenario.assignment, scenario.generated.graph.node_count());
 

@@ -26,6 +26,9 @@ int main(int argc, char** argv) {
 
   const auto scenario = bench::build_scenario(flags);
   const auto& topo = scenario.generated.graph;
+  // Fork the per-demo streams from the scenario's trial seed instead of
+  // hand-picked `seed + N` offsets.
+  util::Rng trial_master(scenario.trial_seed);
 
   std::printf("\n== Topology cleaning (paper: UCLA 2013 snapshot) ==\n");
   {
@@ -33,7 +36,7 @@ int main(int argc, char** argv) {
     // pipeline by injecting customer-provider cycles and an unanchored
     // island, then cleaning.
     topology::Topology dirty = topo;
-    util::Rng rng(flags.u64("seed") + 77);
+    util::Rng rng = trial_master.fork();
     // Close customer->provider 3-cycles: make a node a provider of its own
     // grand-provider (the classic relationship-inference error).
     std::size_t injected_cycles = 0;
@@ -86,7 +89,7 @@ int main(int argc, char** argv) {
   std::printf("\n== Prefix cleaning (paper: CAIDA prefix-to-AS) ==\n");
   {
     addressing::AssignmentParams aparams;
-    aparams.seed = flags.u64("seed") + 1;
+    aparams.seed = trial_master();
     aparams.anomaly_rate = flags.f64("anomaly-rate");
     const auto dirty =
         addressing::generate_assignment(scenario.generated, aparams);

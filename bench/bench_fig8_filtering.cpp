@@ -113,7 +113,7 @@ int main(int argc, char** argv) {
   // --- FIB-compression baselines on a sample of ASs ----------------------
   std::vector<NodeId> sample;
   {
-    util::Rng rng(flags.u64("seed") + 13);
+    util::Rng rng(scenario.trial_seed);
     std::vector<NodeId> all(n);
     for (NodeId u = 0; u < n; ++u) all[u] = u;
     rng.shuffle(all);
@@ -228,7 +228,9 @@ int main(int argc, char** argv) {
     reg.counter("fig8.aggregation_prefixes")
         ->inc(drg_agg.aggregation_prefixes);
     reg.counter("fig8.fib_sample_size")->inc(sample.size());
-    bench::write_metrics_json(flags.str("metrics-json"), {{"fig8", &reg}});
+    bench::write_metrics_json(
+        flags.str("metrics-json"), {{"fig8", &reg}},
+        bench::run_meta_json("bench_fig8_filtering", flags.u64("seed")));
   }
   return 0;
 }

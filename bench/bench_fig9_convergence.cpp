@@ -18,6 +18,7 @@
 
 #include "bench_common.hpp"
 #include "algebra/gr_path_algebra.hpp"
+#include "chaos/watchdog.hpp"
 #include "engine/simulator.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
@@ -97,10 +98,14 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry agg_bgp, agg_drg, bench_metrics;
   obs::EventTracer tracer(1 << 16);
   const bool tracing = !flags.str("trace-file").empty();
-  if (tracing && !tracer.open_sink(flags.str("trace-file"))) {
-    std::fprintf(stderr, "cannot open --trace-file %s\n",
-                 flags.str("trace-file").c_str());
-    return 1;
+  if (tracing) {
+    if (!tracer.open_sink(flags.str("trace-file"))) {
+      std::fprintf(stderr, "cannot open --trace-file %s\n",
+                   flags.str("trace-file").c_str());
+      return 1;
+    }
+    tracer.note(bench::run_meta_json("bench_fig9_convergence",
+                                     flags.u64("seed")));
   }
   std::FILE* timeline_out = nullptr;
   if (!flags.str("timeline-file").empty()) {
@@ -117,7 +122,21 @@ int main(int argc, char** argv) {
   const auto scenario = bench::build_scenario(flags);
   const auto& topo = scenario.generated.graph;
   GrPathVectorAlgebra alg;
-  util::Rng rng(flags.u64("seed") + 31);
+  // Forked trial stream: statistically independent of the topology and
+  // assignment seeds instead of the old correlated `seed + 31` offset.
+  util::Rng rng(scenario.trial_seed);
+
+  // Bounded convergence: a livelocked run fails loudly with diagnostics
+  // instead of spinning in run_until_quiescent forever.
+  const auto converge = [&](engine::Simulator& sim, const std::string& what) {
+    const chaos::WatchdogResult r =
+        chaos::run_to_quiescence(sim, {1e6, 50'000'000}, &tracer);
+    if (!r.quiescent) {
+      std::fprintf(stderr, "# FATAL: %s tripped the convergence watchdog\n%s\n",
+                   what.c_str(), r.diagnostics.c_str());
+      std::exit(1);
+    }
+  };
 
   // Sample non-trivial prefix-trees (the trivial ones behave identically
   // under DRAGON and BGP, §5.3).
@@ -159,8 +178,8 @@ int main(int argc, char** argv) {
       bgp.originate(tree.prefixes[i], tree.origins[i], kOriginAttr);
       drg.originate(tree.prefixes[i], tree.origins[i], kOriginAttr);
     }
-    bgp.run_until_quiescent();
-    drg.run_until_quiescent();
+    converge(bgp, "tree " + std::to_string(t) + " bgp bring-up");
+    converge(drg, "tree " + std::to_string(t) + " dragon bring-up");
     const auto bgp_snap = bgp.snapshot();
     const auto drg_snap = drg.snapshot();
     // Trace only the DRAGON trials: the BGP twin runs the same failures and
@@ -199,7 +218,8 @@ int main(int argc, char** argv) {
       bgp.reset_stats();
       bgp.fail_link(a, b);
       if (timeline_out != nullptr) bgp.attach_timeline(&bgp_timeline);
-      bgp.run_until_quiescent(bgp.now() + 1e6);
+      converge(bgp, "tree " + std::to_string(t) + " trial " +
+                        std::to_string(trial) + " bgp");
       const auto bgp_updates = bgp.stats().updates();
       if (timeline_out != nullptr) {
         char extra[96];
@@ -221,7 +241,8 @@ int main(int argc, char** argv) {
       drg.reset_stats();
       drg.fail_link(a, b);
       if (timeline_out != nullptr) drg.attach_timeline(&drg_timeline);
-      drg.run_until_quiescent(drg.now() + 1e6);
+      converge(drg, "tree " + std::to_string(t) + " trial " +
+                        std::to_string(trial) + " dragon");
       const auto drg_updates = drg.stats().updates();
       const bool deagg = drg.stats().deaggregations > 0;
       if (timeline_out != nullptr) {
@@ -366,10 +387,10 @@ int main(int argc, char** argv) {
   }
   if (timeline_out != nullptr) std::fclose(timeline_out);
   if (!flags.str("metrics-json").empty()) {
-    bench::write_metrics_json(flags.str("metrics-json"),
-                              {{"bench", &bench_metrics},
-                               {"bgp", &agg_bgp},
-                               {"dragon", &agg_drg}});
+    bench::write_metrics_json(
+        flags.str("metrics-json"),
+        {{"bench", &bench_metrics}, {"bgp", &agg_bgp}, {"dragon", &agg_drg}},
+        bench::run_meta_json("bench_fig9_convergence", flags.u64("seed")));
   }
   return 0;
 }

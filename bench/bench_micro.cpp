@@ -6,6 +6,7 @@
 
 #include "addressing/assignment.hpp"
 #include "algebra/gr_path_algebra.hpp"
+#include "chaos/watchdog.hpp"
 #include "engine/simulator.hpp"
 #include "fibcomp/ortc.hpp"
 #include "prefix/prefix_forest.hpp"
@@ -143,7 +144,8 @@ void BM_EngineConvergence(benchmark::State& state) {
     sim.originate(*prefix::Prefix::from_bit_string("10"), 5,
                   algebra::GrPathAlgebra::make(algebra::GrClass::kCustomer,
                                                0));
-    sim.run_until_quiescent();
+    const auto r = chaos::run_to_quiescence(sim);
+    if (!r.quiescent) state.SkipWithError("convergence watchdog fired");
     benchmark::DoNotOptimize(sim.stats().updates());
   }
   state.SetItemsProcessed(state.iterations() *

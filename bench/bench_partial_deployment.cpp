@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   }
 
   // Adoption orders: random, and core-first (descending customer cone).
-  util::Rng rng(flags.u64("seed") + 23);
+  util::Rng rng(scenario.trial_seed);
   std::vector<topology::NodeId> random_order(n);
   for (topology::NodeId u = 0; u < n; ++u) random_order[u] = u;
   rng.shuffle(random_order);

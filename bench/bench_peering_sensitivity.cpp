@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  util::Rng rng(flags.u64("seed") + 17);
+  util::Rng rng(scenario.trial_seed);
   for (double pct : percents) {
     auto augmented = scenario.generated;  // deep copy, fresh each level
     const auto extra = static_cast<std::size_t>(

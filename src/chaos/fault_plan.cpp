@@ -1,0 +1,181 @@
+#include "chaos/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace dragon::chaos {
+
+using topology::NodeId;
+using Prefix = prefix::Prefix;
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kLinkFail: return "link_fail";
+    case FaultKind::kLinkRestore: return "link_restore";
+    case FaultKind::kOriginWithdraw: return "origin_withdraw";
+    case FaultKind::kOriginAnnounce: return "origin_announce";
+  }
+  return "unknown";
+}
+
+std::string FaultAction::to_json() const {
+  char buf[128];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "{\"t\":%.9g,\"kind\":\"%s\"", t,
+                to_string(kind));
+  out += buf;
+  if (kind == FaultKind::kLinkFail || kind == FaultKind::kLinkRestore) {
+    std::snprintf(buf, sizeof(buf), ",\"a\":%u,\"b\":%u", a, b);
+    out += buf;
+  } else {
+    std::snprintf(buf, sizeof(buf), ",\"origin\":%u,\"attr\":%u", origin, attr);
+    out += buf;
+    out += ",\"prefix\":\"";
+    out += prefix.to_bit_string();
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+double FaultPlan::last_time() const {
+  return actions.empty() ? 0.0 : actions.back().t;
+}
+
+std::string FaultPlan::to_json() const {
+  std::string out = "{\"seed\":" + std::to_string(seed) + ",\"actions\":[";
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i > 0) out += ',';
+    out += actions[i].to_json();
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<std::pair<NodeId, NodeId>> FaultPlan::net_failed_links() const {
+  // Replay into a set keyed the same way Simulator keys failed_ (so the
+  // resolution of double fails / spurious restores matches the engine).
+  std::set<std::pair<NodeId, NodeId>> down;
+  for (const FaultAction& act : actions) {
+    const auto key = std::minmax(act.a, act.b);
+    if (act.kind == FaultKind::kLinkFail) {
+      down.insert(key);
+    } else if (act.kind == FaultKind::kLinkRestore) {
+      down.erase(key);
+    }
+  }
+  return {down.begin(), down.end()};
+}
+
+std::vector<OriginSpec> FaultPlan::surviving_origins(
+    const std::vector<OriginSpec>& initial) const {
+  std::map<std::pair<Prefix, NodeId>, bool> active;
+  for (const OriginSpec& o : initial) active[{o.prefix, o.origin}] = true;
+  for (const FaultAction& act : actions) {
+    if (act.kind == FaultKind::kOriginWithdraw) {
+      active[{act.prefix, act.origin}] = false;
+    } else if (act.kind == FaultKind::kOriginAnnounce) {
+      active[{act.prefix, act.origin}] = true;
+    }
+  }
+  std::vector<OriginSpec> out;
+  for (const OriginSpec& o : initial) {
+    if (active[{o.prefix, o.origin}]) out.push_back(o);
+  }
+  return out;
+}
+
+FaultPlan generate_plan(const topology::Topology& topo,
+                        const std::vector<OriginSpec>& origins,
+                        const PlanParams& params, std::uint64_t seed) {
+  util::Rng rng(seed);
+  FaultPlan plan;
+  plan.seed = seed;
+  const auto links = topo.links();
+  if (links.empty()) return plan;
+
+  for (std::size_t e = 0; e < params.events; ++e) {
+    const double t =
+        params.start + params.min_gap + rng.uniform() * params.horizon;
+    const bool restore =
+        params.restore_prob > 0.0 && rng.chance(params.restore_prob);
+    const double restore_at =
+        t + params.min_gap + rng.uniform() * params.restore_delay;
+
+    if (params.origin_flap_prob > 0.0 && !origins.empty() &&
+        rng.chance(params.origin_flap_prob)) {
+      const OriginSpec& o = origins[rng.below(origins.size())];
+      plan.actions.push_back({t, FaultKind::kOriginWithdraw, 0, 0, o.prefix,
+                              o.origin, o.attr});
+      if (restore) {
+        plan.actions.push_back({restore_at, FaultKind::kOriginAnnounce, 0, 0,
+                                o.prefix, o.origin, o.attr});
+      }
+      continue;
+    }
+
+    if (params.node_fault_prob > 0.0 && rng.chance(params.node_fault_prob)) {
+      // Whole-node outage: one correlated burst over the incident links.
+      const NodeId u =
+          static_cast<NodeId>(rng.below(topo.node_count()));
+      for (const auto& nb : topo.neighbors(u)) {
+        plan.actions.push_back({t, FaultKind::kLinkFail, u, nb.id, {}, 0, 0});
+        if (restore) {
+          plan.actions.push_back(
+              {restore_at, FaultKind::kLinkRestore, u, nb.id, {}, 0, 0});
+        }
+      }
+      continue;
+    }
+
+    // Correlated burst of `burst` distinct links at one timestamp.
+    std::set<std::size_t> chosen;
+    const std::size_t want = std::min(params.burst, links.size());
+    while (chosen.size() < want) chosen.insert(rng.below(links.size()));
+    for (const std::size_t idx : chosen) {
+      const auto& l = links[idx];
+      plan.actions.push_back({t, FaultKind::kLinkFail, l.a, l.b, {}, 0, 0});
+      if (restore) {
+        plan.actions.push_back(
+            {restore_at, FaultKind::kLinkRestore, l.a, l.b, {}, 0, 0});
+      }
+    }
+  }
+
+  // Stable sort keeps the generation order among same-timestamp actions
+  // (burst members fire in the order they were drawn).
+  std::stable_sort(plan.actions.begin(), plan.actions.end(),
+                   [](const FaultAction& x, const FaultAction& y) {
+                     return x.t < y.t;
+                   });
+  return plan;
+}
+
+void schedule_plan(engine::Simulator& sim, const FaultPlan& plan) {
+  for (const FaultAction& act : plan.actions) {
+    switch (act.kind) {
+      case FaultKind::kLinkFail:
+        sim.inject(act.t, [&sim, a = act.a, b = act.b] { sim.fail_link(a, b); });
+        break;
+      case FaultKind::kLinkRestore:
+        sim.inject(act.t,
+                   [&sim, a = act.a, b = act.b] { sim.restore_link(a, b); });
+        break;
+      case FaultKind::kOriginWithdraw:
+        sim.inject(act.t, [&sim, p = act.prefix, o = act.origin] {
+          sim.withdraw_origin(p, o);
+        });
+        break;
+      case FaultKind::kOriginAnnounce:
+        sim.inject(act.t, [&sim, p = act.prefix, o = act.origin,
+                           attr = act.attr] { sim.originate(p, o, attr); });
+        break;
+    }
+  }
+}
+
+}  // namespace dragon::chaos

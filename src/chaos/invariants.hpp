@@ -1,0 +1,77 @@
+// Quiescent-state invariant checkers for the chaos-testing subsystem.
+//
+// After a fault schedule has played out and the simulator has drained,
+// these checkers audit the global state against DRAGON's correctness
+// claims (§3, Theorems 1-3) and against the engine's own bookkeeping:
+//
+//   * forwarding:   longest-prefix-match walks from every (sampled) node
+//                   to every active origination address must deliver —
+//                   no forwarding loops, and no node that installed a
+//                   covering FIB entry may lead traffic into a black
+//                   hole (route consistency of filtered prefixes);
+//   * coherence:    FIB/RIB agreement — the elected attribute must be
+//                   the best of Adj-RIB-In plus the local origination,
+//                   no RIB-In candidate may survive over a failed link
+//                   (session-reset semantics), fib_installed must equal
+//                   elected-and-unfiltered, and the fib/filtered gauges
+//                   must equal the recounted sums;
+//   * cr_audit:     every filter flag must match a from-scratch
+//                   evaluation of code CR against the locally known
+//                   effective parent (§3.1, §3.6);
+//   * ra_audit:     every origination must satisfy rule RA the way the
+//                   engine claims: de-aggregated exactly when a
+//                   delegated/violating more-specific forces it (§3.8),
+//                   fragments matching deaggregate_excluding, and the
+//                   announced attribute equal to the worst elected
+//                   more-specific otherwise (§3.9 downgrade fixpoint).
+//
+// The checkers are read-only and meaningful only at quiescence (transient
+// states legitimately violate them while messages are in flight).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/simulator.hpp"
+#include "prefix/prefix.hpp"
+#include "topology/graph.hpp"
+
+namespace dragon::chaos {
+
+struct Violation {
+  /// Which checker fired: "loop", "black_hole", "coherence", "cr", "ra".
+  std::string check;
+  topology::NodeId node = 0;
+  prefix::Prefix prefix;
+  std::string detail;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct InvariantOptions {
+  bool forwarding = true;
+  bool coherence = true;
+  bool cr_audit = true;
+  bool ra_audit = true;
+  /// Forwarding walks sample at most this many source nodes (stride
+  /// sampling over the id space keeps the choice deterministic).
+  std::size_t max_sources = static_cast<std::size_t>(-1);
+  /// Stop collecting after this many violations (the state is broken
+  /// either way; keep reports readable).
+  std::size_t max_violations = 32;
+};
+
+struct InvariantReport {
+  std::vector<Violation> violations;
+  std::size_t checks_run = 0;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// All violations, one per line (empty string when ok).
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] InvariantReport check_invariants(
+    const engine::Simulator& sim, const InvariantOptions& opts = {});
+
+}  // namespace dragon::chaos

@@ -1,0 +1,77 @@
+#include "chaos/watchdog.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace dragon::chaos {
+
+namespace {
+
+std::string describe_stall(const engine::Simulator& sim,
+                           const WatchdogLimits& limits, std::size_t events,
+                           const obs::EventTracer* tracer) {
+  char buf[256];
+  std::string out = "convergence watchdog fired: simulator not quiescent\n";
+  std::snprintf(buf, sizeof(buf),
+                "  t=%.6f  events_processed=%zu  queue_depth=%zu\n"
+                "  budgets: horizon=%.6g events=%zu\n",
+                sim.now(), events, sim.queue_depth(), limits.max_sim_horizon,
+                limits.max_events);
+  out += buf;
+  const engine::Stats stats = sim.stats();
+  std::snprintf(buf, sizeof(buf),
+                "  updates: %llu announcements, %llu withdrawals; "
+                "deagg=%llu reagg=%llu downgrades=%llu agg_orig=%llu\n",
+                static_cast<unsigned long long>(stats.announcements),
+                static_cast<unsigned long long>(stats.withdrawals),
+                static_cast<unsigned long long>(stats.deaggregations),
+                static_cast<unsigned long long>(stats.reaggregations),
+                static_cast<unsigned long long>(stats.downgrades),
+                static_cast<unsigned long long>(stats.agg_originations));
+  out += buf;
+  const obs::Gauge* fib = sim.metrics().find_gauge("dragon.engine.fib_entries");
+  const obs::Counter* lost =
+      sim.metrics().find_counter("dragon.engine.msgs_lost");
+  std::snprintf(buf, sizeof(buf), "  fib_entries=%.0f msgs_lost=%llu\n",
+                fib != nullptr ? fib->value() : 0.0,
+                static_cast<unsigned long long>(
+                    lost != nullptr ? lost->value() : 0));
+  out += buf;
+  if (tracer != nullptr && tracer->size() > 0) {
+    // Tail of the trace ring: the protocol's last moves before the stall.
+    constexpr std::size_t kTail = 40;
+    std::vector<std::string> lines;
+    tracer->for_each([&](const obs::TraceRecord& rec) {
+      lines.push_back(rec.to_json());
+    });
+    const std::size_t from = lines.size() > kTail ? lines.size() - kTail : 0;
+    std::snprintf(buf, sizeof(buf), "  trace tail (%zu of %zu buffered):\n",
+                  lines.size() - from, lines.size());
+    out += buf;
+    for (std::size_t i = from; i < lines.size(); ++i) {
+      out += "    ";
+      out += lines[i];
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+WatchdogResult run_to_quiescence(engine::Simulator& sim,
+                                 const WatchdogLimits& limits,
+                                 const obs::EventTracer* tracer) {
+  const auto run =
+      sim.run_bounded(sim.now() + limits.max_sim_horizon, limits.max_events);
+  WatchdogResult result;
+  result.quiescent = run.quiescent;
+  result.events = run.events;
+  result.end_time = sim.now();
+  if (!run.quiescent) {
+    result.diagnostics = describe_stall(sim, limits, run.events, tracer);
+  }
+  return result;
+}
+
+}  // namespace dragon::chaos

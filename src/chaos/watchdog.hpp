@@ -1,0 +1,45 @@
+// Convergence watchdog: bounded-time quiescence with loud diagnostics.
+//
+// Every driver used to call Simulator::run_until_quiescent with a huge
+// horizon; a protocol that livelocks (a policy dispute, a §3.7
+// origination oscillation, or a chaos schedule with 100% message loss)
+// would spin there for minutes before anyone noticed.  The watchdog wraps
+// Simulator::run_bounded with both a sim-time horizon *relative to now()*
+// and an event-count budget, and when either budget trips it returns a
+// diagnostics string — sim time, events processed, queue depth, the
+// update counters, and the tail of the attached event tracer — instead
+// of hanging.  Tests assert `result.quiescent << result.diagnostics`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "engine/simulator.hpp"
+#include "obs/trace.hpp"
+
+namespace dragon::chaos {
+
+struct WatchdogLimits {
+  /// Sim-time budget, measured from sim.now() when the run starts.
+  double max_sim_horizon = 1e7;
+  /// Event budget for this run (livelocks burn events, not sim time).
+  std::size_t max_events = 50'000'000;
+};
+
+struct WatchdogResult {
+  bool quiescent = false;
+  std::size_t events = 0;
+  double end_time = 0.0;
+  /// Empty when quiescent; otherwise a multi-line failure report.
+  std::string diagnostics;
+};
+
+/// Runs the simulator until its queue drains or a budget trips.  `tracer`
+/// (optional) contributes its most recent records to the diagnostics —
+/// pass the tracer attached to `sim` to see what the protocol was doing
+/// when the watchdog fired.
+WatchdogResult run_to_quiescence(engine::Simulator& sim,
+                                 const WatchdogLimits& limits = {},
+                                 const obs::EventTracer* tracer = nullptr);
+
+}  // namespace dragon::chaos

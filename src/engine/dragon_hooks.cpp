@@ -201,6 +201,12 @@ void Simulator::dragon_check_ra(OriginationRecord& rec) {
     const auto old_fragments = std::move(rec.fragments);
     rec.fragments.clear();
     root_entry.origin_paused = false;
+    // Re-elect the root unconditionally: un-pausing alone changes the
+    // election input even when the announce attribute below ends up
+    // unchanged (the delegated route came back with its original class),
+    // and the root must be announced before the fragments are withdrawn
+    // (make-before-break).
+    reelect_and_react(rec.origin, rec.root);
     for (const Prefix& f : old_fragments) {
       RouteEntry& fe = node.route(f);
       fe.originated = false;

@@ -1,6 +1,7 @@
 #include "engine/event_queue.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 namespace dragon::engine {
@@ -28,6 +29,13 @@ std::size_t EventQueue::run_until(Time max_time) {
 
 void EventQueue::clear() {
   while (!heap_.empty()) heap_.pop();
+}
+
+void EventQueue::reset_time(Time t) {
+  if (!heap_.empty()) {
+    throw std::logic_error("EventQueue::reset_time on a non-empty queue");
+  }
+  now_ = t;
 }
 
 }  // namespace dragon::engine

@@ -33,6 +33,13 @@ class EventQueue {
 
   void clear();
 
+  /// Rewinds (or advances) the clock to `t`.  Only valid on an empty
+  /// queue — pending events carry absolute timestamps that a time jump
+  /// would reorder.  Simulator::restore() uses this to put the clock
+  /// back where the snapshot was taken, so restored MRAI deadlines stay
+  /// meaningful and repeated trials replay bit-identically.
+  void reset_time(Time t);
+
  private:
   struct Item {
     Time t;

@@ -52,6 +52,13 @@ struct NeighborIo {
   std::map<prefix::Prefix, algebra::Attr> sent;
   /// Prefixes with a (re)advertisement or withdrawal waiting for MRAI.
   std::set<prefix::Prefix> pending;
+  /// Highest message sequence number delivered from this neighbour, per
+  /// prefix.  Messages carry a global monotone sequence; a delivery older
+  /// than the newest one seen for the same (neighbour, prefix) is stale
+  /// and discarded.  This models TCP's in-order sessions: per-prefix
+  /// updates never apply out of order, even when chaos-injected extra
+  /// jitter or a fast fail/restore cycle reorders wire messages.
+  std::map<prefix::Prefix, std::uint64_t> rx_seq;
   /// Earliest time the next batch may leave.
   double mrai_ready = 0.0;
   /// A flush event is already scheduled at mrai_ready.

@@ -1,7 +1,8 @@
 #include "engine/simulator.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <limits>
+#include <stdexcept>
 
 #include "obs/profile.hpp"
 #include "util/log.hpp"
@@ -24,6 +25,9 @@ struct Simulator::Snapshot {
   std::vector<std::pair<Prefix, Attr>> agg_watch;
   obs::MetricsRegistry::Snapshot metrics;
   util::Rng rng;
+  util::Rng msg_rng;
+  std::uint64_t msg_seq = 0;
+  Time time = 0.0;
 };
 
 Simulator::Simulator(const topology::Topology& topo,
@@ -32,6 +36,7 @@ Simulator::Simulator(const topology::Topology& topo,
       alg_(alg),
       config_(std::move(config)),
       rng_(config_.seed),
+      msg_rng_(rng_.fork()),
       nodes_(topo.node_count()),
       labels_(topo.node_count()),
       node_class_(topo.node_count()) {
@@ -54,6 +59,9 @@ Simulator::Simulator(const topology::Topology& topo,
         std::string("dragon.engine.updates.class.") + kNodeClassNames[c]);
   }
   c_mrai_flush_ = metrics_.counter("dragon.engine.mrai_flushes");
+  c_msg_lost_ = metrics_.counter("dragon.engine.msgs_lost");
+  c_msg_dup_ = metrics_.counter("dragon.engine.msgs_dup");
+  c_msg_stale_ = metrics_.counter("dragon.engine.msgs_stale");
   c_fib_install_ = metrics_.counter("dragon.engine.fib_installs");
   c_fib_remove_ = metrics_.counter("dragon.engine.fib_removals");
   c_filter_ = metrics_.counter("dragon.dragon.filter_transitions");
@@ -91,15 +99,32 @@ std::uint32_t Simulator::project(Attr a) const {
 
 void Simulator::originate(const Prefix& p, NodeId origin, Attr attr) {
   RouteEntry& entry = nodes_[origin].route(p);
+  // Re-announcing an origination that is already on record (overlapping
+  // chaos flaps) refreshes the assignment in place; a duplicate record
+  // would double-count delegations in every later rule-RA check.
+  for (OriginationRecord& rec : originations_) {
+    if (rec.root == p && rec.origin == origin) {
+      rec.attr = attr;
+      rec.effective_attr = attr;
+      entry.originated = true;
+      entry.origin_attr = attr;
+      entry.origin_paused = rec.deaggregated;
+      reelect_and_react(origin, p);
+      return;
+    }
+  }
   entry.originated = true;
   entry.origin_attr = attr;
   entry.origin_paused = false;
   OriginationRecord rec{p, origin, attr, false, {}, attr, {}};
   // Cross-link delegations: a registry origination inside another AS's
   // block is a delegation of that block (and vice versa).
-  for (auto& other : originations_) {
+  std::vector<std::size_t> gained_delegation;
+  for (std::size_t i = 0; i < originations_.size(); ++i) {
+    OriginationRecord& other = originations_[i];
     if (other.origin != origin && other.root.covers(p) && other.root != p) {
       other.delegated.push_back(p);
+      gained_delegation.push_back(i);
     }
     if (other.origin != origin && p.covers(other.root) && other.root != p) {
       rec.delegated.push_back(other.root);
@@ -110,21 +135,86 @@ void Simulator::originate(const Prefix& p, NodeId origin, Attr attr) {
     agg_watch_.emplace_back(p, attr);
   }
   reelect_and_react(origin, p);
+  // Rule RA is otherwise event-driven at the ancestor origins, and this
+  // origination may never produce an event there: a prefix re-delegated
+  // to an origin the ancestor cannot reach (it keeps a stale unreachable
+  // entry for p) announces into a black hole unless the ancestor
+  // de-aggregates NOW.  Origins that never heard of p have no entry and
+  // are left alone — the check re-fires when the announcement arrives.
+  if (config_.enable_dragon) {
+    for (const std::size_t i : gained_delegation) {
+      dragon_check_ra(originations_[i]);
+    }
+  }
 }
 
 void Simulator::withdraw_origin(const Prefix& p, NodeId origin) {
   RouteEntry& entry = nodes_[origin].route(p);
   entry.originated = false;
   entry.origin_attr = kUnreachable;
+  entry.origin_paused = false;
+  // If rule RA had de-aggregated this block, the fragments belong to the
+  // origination and must be withdrawn with it; leaving them originated
+  // would announce pieces of a prefix that was returned to the registry.
+  std::vector<Prefix> fragments;
+  Attr watch_attr = kUnreachable;
+  for (const OriginationRecord& rec : originations_) {
+    if (rec.root == p && rec.origin == origin) {
+      if (rec.deaggregated) fragments = rec.fragments;
+      watch_attr = rec.attr;
+    }
+  }
   std::erase_if(originations_, [&](const OriginationRecord& rec) {
     return rec.root == p && rec.origin == origin;
   });
   // The prefix is returned to the registry: it no longer constrains the
-  // covering blocks' rule-RA checks.
-  for (auto& rec : originations_) {
-    std::erase(rec.delegated, p);
+  // covering blocks' rule-RA checks, and nobody should self-organise its
+  // aggregate any more.
+  std::vector<std::size_t> lost_delegation;
+  for (std::size_t i = 0; i < originations_.size(); ++i) {
+    if (std::erase(originations_[i].delegated, p) > 0) {
+      lost_delegation.push_back(i);
+    }
+  }
+  std::erase_if(agg_watch_, [&](const std::pair<Prefix, Attr>& w) {
+    return w.first == p && w.second == watch_attr;
+  });
+  // With the last watch for p gone, §3.7 self-organised originations of p
+  // lose their mandate: the block is no longer anyone's aggregate, so
+  // continuing to announce it would squat on returned address space.
+  const bool still_watched =
+      std::any_of(agg_watch_.begin(), agg_watch_.end(),
+                  [&](const std::pair<Prefix, Attr>& w) { return w.first == p; });
+  if (!still_watched) {
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+      const RouteEntry* re = nodes_[u].find(p);
+      if (re == nullptr || !re->originated || !re->origin_reagg) continue;
+      RouteEntry& e = nodes_[u].route(p);
+      e.originated = false;
+      e.origin_reagg = false;
+      e.origin_attr = kUnreachable;
+      DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kAggStop, u, p);
+      reelect_and_react(u, p);
+    }
+  }
+  for (const Prefix& f : fragments) {
+    RouteEntry& fe = nodes_[origin].route(f);
+    if (!fe.originated) continue;
+    fe.originated = false;
+    fe.origin_attr = kUnreachable;
+    fe.origin_paused = false;
+    reelect_and_react(origin, f);
   }
   reelect_and_react(origin, p);
+  // Mirror of the recheck in originate(): an ancestor that de-aggregated
+  // around p may never see another event for it (e.g. p's origin is
+  // unreachable), yet with the delegation gone rule RA may be satisfied
+  // again and the ancestor must re-aggregate.
+  if (config_.enable_dragon) {
+    for (const std::size_t i : lost_delegation) {
+      dragon_check_ra(originations_[i]);
+    }
+  }
 }
 
 void Simulator::watch_aggregate(const Prefix& root, Attr attr) {
@@ -136,6 +226,14 @@ void Simulator::watch_aggregate(const Prefix& root, Attr attr) {
 }
 
 void Simulator::fail_link(NodeId a, NodeId b) {
+  if (a == b || a >= topo_.node_count() || b >= topo_.node_count() ||
+      !topo_.linked(a, b)) {
+    // A bogus pair must never enter failed_: restore_link on it would
+    // otherwise open a phantom session and advertise the full table to a
+    // non-neighbour.
+    DRAGON_LOG_WARN("fail_link(%u, %u): no such link; ignored", a, b);
+    return;
+  }
   if (!failed_.insert(link_key(a, b)).second) return;
   DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kLinkFail, a,
                      static_cast<std::int64_t>(b));
@@ -158,6 +256,11 @@ void Simulator::fail_link(NodeId a, NodeId b) {
 }
 
 void Simulator::restore_link(NodeId a, NodeId b) {
+  if (a == b || a >= topo_.node_count() || b >= topo_.node_count() ||
+      !topo_.linked(a, b)) {
+    DRAGON_LOG_WARN("restore_link(%u, %u): no such link; ignored", a, b);
+    return;
+  }
   if (failed_.erase(link_key(a, b)) == 0) return;
   DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kLinkRestore, a,
                      static_cast<std::int64_t>(b));
@@ -190,8 +293,14 @@ obs::Timeline::Sample Simulator::timeline_sample(Time t) const {
 }
 
 std::size_t Simulator::run_until_quiescent(Time max_time) {
-  std::size_t count = 0;
-  while (!queue_.empty() && queue_.next_time() <= max_time) {
+  return run_bounded(max_time, std::numeric_limits<std::size_t>::max()).events;
+}
+
+Simulator::RunResult Simulator::run_bounded(Time max_time,
+                                            std::size_t max_events) {
+  RunResult result;
+  while (!queue_.empty() && queue_.next_time() <= max_time &&
+         result.events < max_events) {
     if (timeline_ != nullptr) {
       // Emit every grid sample due before the next event fires, so the
       // series has a point per cadence tick even across quiet stretches.
@@ -200,11 +309,16 @@ std::size_t Simulator::run_until_quiescent(Time max_time) {
       }
     }
     queue_.run_next();
-    ++count;
-    if ((count & 63u) == 0) h_queue_depth_->observe(queue_.size());
+    ++result.events;
+    if ((result.events & 63u) == 0) h_queue_depth_->observe(queue_.size());
   }
   if (timeline_ != nullptr) timeline_->push(timeline_sample(queue_.now()));
-  return count;
+  result.quiescent = queue_.empty();
+  return result;
+}
+
+void Simulator::inject(Time t, std::function<void()> fn) {
+  queue_.schedule(t, std::move(fn));
 }
 
 Attr Simulator::elected(NodeId u, const Prefix& p) const {
@@ -232,6 +346,36 @@ std::size_t Simulator::fib_size(NodeId u) const {
 bool Simulator::originates(NodeId u, const Prefix& p) const {
   const RouteEntry* entry = nodes_[u].find(p);
   return entry != nullptr && entry->originated && !entry->origin_paused;
+}
+
+void Simulator::for_each_route(
+    const std::function<void(NodeId, const Prefix&, const RouteEntry&)>& fn)
+    const {
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
+    for (const auto& [p, entry] : nodes_[u].routes) fn(u, p, entry);
+  }
+}
+
+std::vector<Simulator::OriginInfo> Simulator::origin_records() const {
+  std::vector<OriginInfo> out;
+  out.reserve(originations_.size());
+  for (const OriginationRecord& rec : originations_) {
+    out.push_back({rec.root, rec.origin, rec.attr, rec.effective_attr,
+                   rec.deaggregated, rec.fragments, rec.delegated});
+  }
+  return out;
+}
+
+std::vector<std::pair<topology::NodeId, topology::NodeId>>
+Simulator::failed_links() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(failed_.size());
+  for (const std::uint64_t key : failed_) {
+    out.emplace_back(static_cast<NodeId>(key & 0xFFFFFFFFu),
+                     static_cast<NodeId>(key >> 32));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 Simulator::TraceResult Simulator::trace(NodeId from,
@@ -301,8 +445,22 @@ Simulator::forwarding_links() const {
   return out;
 }
 
+namespace {
+[[noreturn]] void throw_not_quiescent(const char* what, std::size_t depth,
+                                      double now) {
+  throw std::logic_error(
+      std::string(what) + " requires a quiescent simulator, but " +
+      std::to_string(depth) + " event(s) are still queued at t=" +
+      std::to_string(now) +
+      " (in-flight messages and timers cannot be captured; run to"
+      " quiescence first)");
+}
+}  // namespace
+
 std::shared_ptr<const Simulator::Snapshot> Simulator::snapshot() const {
-  assert(queue_.empty() && "snapshot requires a quiescent simulator");
+  if (!queue_.empty()) {
+    throw_not_quiescent("snapshot", queue_.size(), queue_.now());
+  }
   auto snap = std::make_shared<Snapshot>();
   snap->nodes = nodes_;
   snap->failed = failed_;
@@ -310,6 +468,9 @@ std::shared_ptr<const Simulator::Snapshot> Simulator::snapshot() const {
   snap->agg_watch = agg_watch_;
   snap->metrics = metrics_.snapshot_state();
   snap->rng = rng_;
+  snap->msg_rng = msg_rng_;
+  snap->msg_seq = msg_seq_;
+  snap->time = queue_.now();
   return snap;
 }
 
@@ -318,18 +479,38 @@ void Simulator::restore(const std::shared_ptr<const Snapshot>& snap) {
 }
 
 void Simulator::restore(const Snapshot& snap) {
-  assert(queue_.empty() && "restore requires a quiescent simulator");
+  if (!queue_.empty()) {
+    throw_not_quiescent("restore", queue_.size(), queue_.now());
+  }
   nodes_ = snap.nodes;
   failed_ = snap.failed;
   originations_ = snap.originations;
   agg_watch_ = snap.agg_watch;
   metrics_.restore_state(snap.metrics);
   rng_ = snap.rng;
+  msg_rng_ = snap.msg_rng;
+  msg_seq_ = snap.msg_seq;
+  // Rewind the clock to the capture instant: node state holds absolute
+  // MRAI deadlines, so replaying a trial at a later now() would see them
+  // all expired and batch updates differently.
+  queue_.reset_time(snap.time);
 }
 
 void Simulator::deliver(NodeId to, NodeId from, const Prefix& p,
-                        std::optional<Attr> wire) {
+                        std::optional<Attr> wire, std::uint64_t seq) {
   if (!link_alive(to, from)) return;  // failed while in flight
+  // Sequence guard: per-(neighbour, prefix) newest-wins.  A reordered
+  // older message (chaos extra delay, or in flight across a fast
+  // fail/restore cycle) must not clobber a newer update.  Duplicates
+  // carry the same seq and are re-applied idempotently.
+  std::uint64_t& rx = nodes_[to].io[from].rx_seq[p];
+  if (seq < rx) {
+    c_msg_stale_->inc();
+    DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kMsgStale, to,
+                       static_cast<std::int64_t>(from), p, 0u);
+    return;
+  }
+  rx = seq;
   DRAGON_TRACE_EVENT(tracer_, queue_.now(),
                      wire ? obs::EventKind::kRecvAnnounce
                           : obs::EventKind::kRecvWithdraw,
@@ -432,17 +613,26 @@ void Simulator::flush_now(NodeId u, NodeId v) {
       exporting = false;  // export policy drops it; nothing on the wire
     }
     auto sent_it = io.sent.find(p);
+    const bool update_due =
+        exporting ? (sent_it == io.sent.end() || sent_it->second != entry->elected)
+                  : sent_it != io.sent.end();
+    if (!update_due) continue;
+    // Chaos loss seam.  The drop happens BEFORE the Adj-RIB-Out mutation:
+    // io.sent still records the peer's pre-loss view, so the scheduled
+    // re-flush genuinely resends the update — including withdrawals,
+    // which a post-mutation drop would lose forever.
+    if (config_.faults.loss > 0.0 && msg_rng_.chance(config_.faults.loss)) {
+      drop_and_retry(u, v, p);
+      continue;
+    }
     if (exporting) {
-      if (sent_it == io.sent.end() || sent_it->second != entry->elected) {
-        io.sent[p] = entry->elected;
-        send(u, v, p, entry->elected);
-        sent_any = true;
-      }
-    } else if (sent_it != io.sent.end()) {
+      io.sent[p] = entry->elected;
+      send(u, v, p, entry->elected);
+    } else {
       io.sent.erase(sent_it);
       send(u, v, p, std::nullopt);
-      sent_any = true;
     }
+    sent_any = true;
   }
   io.pending.clear();
   if (sent_any) {
@@ -468,10 +658,43 @@ void Simulator::send(NodeId from, NodeId to, const Prefix& p,
                           : obs::EventKind::kWithdraw,
                      from, static_cast<std::int64_t>(to), p,
                      wire ? static_cast<std::uint32_t>(*wire) : 0u);
+  const std::uint64_t seq = ++msg_seq_;
+  schedule_delivery(from, to, p, wire, seq);
+  if (config_.faults.duplicate > 0.0 &&
+      msg_rng_.chance(config_.faults.duplicate)) {
+    // Second wire copy with the same sequence: delivered (idempotently)
+    // unless a newer update overtakes it first.
+    c_msg_dup_->inc();
+    DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kMsgDup, from,
+                       static_cast<std::int64_t>(to), p, 0u);
+    schedule_delivery(from, to, p, wire, seq);
+  }
+}
+
+void Simulator::schedule_delivery(NodeId from, NodeId to, const Prefix& p,
+                                  std::optional<Attr> wire,
+                                  std::uint64_t seq) {
   const double jitter =
       1.0 + config_.link_delay_jitter * (2.0 * rng_.uniform() - 1.0);
-  const Time at = queue_.now() + config_.link_delay * jitter;
-  queue_.schedule(at, [this, from, to, p, wire] { deliver(to, from, p, wire); });
+  double delay = config_.link_delay * jitter;
+  if (config_.faults.delay_prob > 0.0 &&
+      msg_rng_.chance(config_.faults.delay_prob)) {
+    delay += config_.faults.extra_delay * msg_rng_.uniform();
+  }
+  queue_.schedule(queue_.now() + delay, [this, from, to, p, wire, seq] {
+    deliver(to, from, p, wire, seq);
+  });
+}
+
+void Simulator::drop_and_retry(NodeId u, NodeId v, const Prefix& p) {
+  c_msg_lost_->inc();
+  DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kMsgLost, u,
+                     static_cast<std::int64_t>(v), p, 0u);
+  queue_.schedule(queue_.now() + config_.faults.retransmit, [this, u, v, p] {
+    if (!link_alive(u, v)) return;  // session reset resynced the peer
+    nodes_[u].io[v].pending.insert(p);
+    try_flush(u, v);
+  });
 }
 
 }  // namespace dragon::engine

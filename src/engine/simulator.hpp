@@ -43,6 +43,29 @@
 
 namespace dragon::engine {
 
+/// Probabilistic message faults on the wire (the chaos subsystem's send-path
+/// seam, src/chaos/).  Loss models a transport-level drop followed by an
+/// eventual retransmission — the prefix is re-flushed `retransmit` seconds
+/// later — so a lossy run still converges to the fault-free stable state
+/// (the differential oracle relies on this).  Duplication re-delivers the
+/// same message with independent jitter; `delay_prob`/`extra_delay` add
+/// reorder-inducing one-way latency, which the per-(neighbour, prefix)
+/// sequence guard in the receive path keeps semantically in-order.  All
+/// draws come from a dedicated RNG stream forked from the simulator seed,
+/// so fault patterns replay exactly and zeroed probabilities consume no
+/// randomness (bit-identical to a fault-free run).
+struct MessageFaults {
+  double loss = 0.0;        ///< P(outgoing update dropped, retransmitted)
+  double duplicate = 0.0;   ///< P(update delivered twice)
+  double delay_prob = 0.0;  ///< P(extra one-way delay added)
+  double extra_delay = 0.5; ///< max extra delay, seconds (uniform draw)
+  double retransmit = 0.1;  ///< delay before a lost update is re-flushed
+
+  [[nodiscard]] bool any() const noexcept {
+    return loss > 0.0 || duplicate > 0.0 || delay_prob > 0.0;
+  }
+};
+
 struct Config {
   /// MRAI per peering session: uniform in [mrai*(1-jitter), mrai].
   double mrai = 30.0;
@@ -50,6 +73,8 @@ struct Config {
   /// One-way message delay: uniform in [d*(1-jitter), d*(1+jitter)].
   double link_delay = 0.01;
   double link_delay_jitter = 0.5;
+  /// Chaos-testing message faults (all zero: no faults, no RNG draws).
+  MessageFaults faults;
   bool enable_dragon = false;
   /// §3.8 self-organising (re-)origination of watched aggregation roots.
   bool enable_reaggregation = true;
@@ -105,13 +130,34 @@ class Simulator {
   /// unless DRAGON and re-aggregation are enabled.
   void watch_aggregate(const Prefix& root, Attr attr);
 
-  /// Fails / restores the link between a and b (sessions reset).
+  /// Fails / restores the link between a and b (sessions reset).  Both are
+  /// validated and idempotent: failing a link that does not exist in the
+  /// topology (or is already failed), or restoring one that is not failed,
+  /// is a warned no-op — chaos schedules may legitimately race a double
+  /// failure, and a bogus pair must never open a phantom session.
   void fail_link(NodeId a, NodeId b);
   void restore_link(NodeId a, NodeId b);
 
   /// Drains the event queue (or stops at max_time).  Returns the number of
   /// events processed.
   std::size_t run_until_quiescent(Time max_time = 1e7);
+
+  struct RunResult {
+    std::size_t events = 0;
+    /// The queue drained; false when a budget stopped the run first.
+    bool quiescent = false;
+  };
+  /// Like run_until_quiescent, but additionally bounded by an event-count
+  /// budget, so a livelocked protocol run returns (quiescent = false)
+  /// instead of spinning until the sim-time horizon.  The convergence
+  /// watchdog (src/chaos/watchdog.hpp) wraps this with diagnostics.
+  RunResult run_bounded(Time max_time, std::size_t max_events);
+
+  /// Schedules an external callback at absolute sim time t (clamped to
+  /// now()).  The chaos scheduler uses this to fire fault actions while
+  /// convergence is still in flight, interleaved deterministically with
+  /// protocol events.
+  void inject(Time t, std::function<void()> fn);
 
   [[nodiscard]] Time now() const { return queue_.now(); }
   /// The Stats façade, read from the metrics registry.
@@ -137,6 +183,36 @@ class Simulator {
   void attach_timeline(obs::Timeline* timeline);
 
   // --- State introspection -------------------------------------------------
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const topology::Topology& topology_used() const {
+    return topo_;
+  }
+  [[nodiscard]] const algebra::Algebra& algebra_used() const { return alg_; }
+  /// The CR/RA L-attribute projection (Config::l_attr or identity).
+  [[nodiscard]] std::uint32_t project_attr(Attr a) const { return project(a); }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Visits every per-node route entry (the invariant checkers read the
+  /// whole RIB/FIB state through this).
+  void for_each_route(
+      const std::function<void(NodeId, const Prefix&, const RouteEntry&)>& fn)
+      const;
+
+  /// A copy of an origination record, for RA audits and oracles.
+  struct OriginInfo {
+    Prefix root;
+    NodeId origin;
+    Attr attr;
+    Attr effective_attr;
+    bool deaggregated;
+    std::vector<Prefix> fragments;
+    std::vector<Prefix> delegated;
+  };
+  [[nodiscard]] std::vector<OriginInfo> origin_records() const;
+
+  /// Currently failed links as undirected (min, max) pairs.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> failed_links() const;
 
   [[nodiscard]] Attr elected(NodeId u, const Prefix& p) const;
   [[nodiscard]] bool filtered(NodeId u, const Prefix& p) const;
@@ -165,6 +241,11 @@ class Simulator {
 
   // --- Snapshot / restore (for repeated failure trials) ---------------------
 
+  /// Snapshots capture routing state only — they cannot represent
+  /// in-flight messages or pending timers, so both snapshot() and
+  /// restore() throw std::logic_error when the event queue is non-empty
+  /// (run to quiescence first).  The error is thrown in all build types;
+  /// a silent release-mode skip here corrupts every later trial.
   struct Snapshot;
   [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const;
   void restore(const Snapshot& snap);
@@ -204,7 +285,14 @@ class Simulator {
   [[nodiscard]] std::uint32_t project(Attr a) const;
 
   void deliver(NodeId to, NodeId from, const Prefix& p,
-               std::optional<Attr> wire);
+               std::optional<Attr> wire, std::uint64_t seq);
+  /// Queues one wire copy of the message (link-delay jitter plus any
+  /// chaos-injected extra delay).
+  void schedule_delivery(NodeId from, NodeId to, const Prefix& p,
+                         std::optional<Attr> wire, std::uint64_t seq);
+  /// Chaos loss path: drop the update before it reaches the wire and
+  /// schedule a retransmission (the prefix is re-flushed later).
+  void drop_and_retry(NodeId u, NodeId v, const Prefix& p);
   /// Re-elects p at u, runs DRAGON hooks, and schedules updates for every
   /// prefix whose externally visible state may have changed.
   void reelect_and_react(NodeId u, const Prefix& p);
@@ -231,6 +319,11 @@ class Simulator {
   Config config_;
   EventQueue queue_;
   util::Rng rng_;
+  /// Dedicated stream for message-fault draws (forked from rng_), so
+  /// enabling faults does not perturb MRAI/delay jitter sequences.
+  util::Rng msg_rng_;
+  /// Global monotone message sequence; see NeighborIo::rx_seq.
+  std::uint64_t msg_seq_ = 0;
   std::vector<NodeState> nodes_;
   std::vector<std::unordered_map<NodeId, algebra::LabelId>> labels_;
   std::unordered_set<std::uint64_t> failed_;
@@ -250,6 +343,9 @@ class Simulator {
   obs::Counter* c_withdraw_;
   obs::Counter* c_class_updates_[3];
   obs::Counter* c_mrai_flush_;
+  obs::Counter* c_msg_lost_;
+  obs::Counter* c_msg_dup_;
+  obs::Counter* c_msg_stale_;
   obs::Counter* c_fib_install_;
   obs::Counter* c_fib_remove_;
   obs::Counter* c_filter_;

@@ -24,6 +24,9 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kAggStop: return "agg_stop";
     case EventKind::kLinkFail: return "link_fail";
     case EventKind::kLinkRestore: return "link_restore";
+    case EventKind::kMsgLost: return "msg_lost";
+    case EventKind::kMsgDup: return "msg_dup";
+    case EventKind::kMsgStale: return "msg_stale";
   }
   return "unknown";
 }

@@ -64,6 +64,9 @@ enum class EventKind : std::uint8_t {
   kAggStop,       // ... withdrawn again
   kLinkFail,
   kLinkRestore,
+  kMsgLost,       // chaos: update dropped on the wire (retransmitted later)
+  kMsgDup,        // chaos: update delivered twice
+  kMsgStale,      // reordered delivery discarded by the sequence guard
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

@@ -7,6 +7,7 @@
 #include "engine/simulator.hpp"
 #include "paper_networks.hpp"
 #include "routecomp/gr_sweep.hpp"
+#include "test_support.hpp"
 #include "topology/generator.hpp"
 
 namespace dragon::engine {
@@ -17,6 +18,7 @@ using algebra::GrPathAlgebra;
 using prefix::Prefix;
 using topology::NodeId;
 using F1 = testing::Figure1;
+using dragon::testing::quiesce;
 
 Prefix bp(const char* s) { return *Prefix::from_bit_string(s); }
 
@@ -95,7 +97,7 @@ TEST(Simulator, ConvergesToSweepState) {
   GrPathAlgebra alg;
   Simulator sim(topo, alg, bgp_config());
   sim.originate(bp("10"), F1::origin_p, kOriginAttr);
-  sim.run_until_quiescent();
+  quiesce(sim);
 
   const auto sweep = routecomp::gr_sweep(topo, F1::origin_p);
   for (NodeId u = 0; u < topo.node_count(); ++u) {
@@ -115,7 +117,7 @@ TEST(Simulator, TraceDeliversAlongHierarchy) {
   GrPathAlgebra alg;
   Simulator sim(topo, alg, bgp_config());
   sim.originate(bp("10"), F1::origin_p, kOriginAttr);
-  sim.run_until_quiescent();
+  quiesce(sim);
 
   for (NodeId u = 0; u < topo.node_count(); ++u) {
     const auto result = sim.trace(u, bp("10").first_address());
@@ -132,12 +134,12 @@ TEST(Simulator, LinkFailureReconvergesToNewStableState) {
   GrPathAlgebra alg;
   Simulator sim(topo, alg, bgp_config());
   sim.originate(bp("10"), F1::origin_q, kOriginAttr);  // q at u6
-  sim.run_until_quiescent();
+  quiesce(sim);
   sim.reset_stats();
 
   // Fail {u3, u6}: u3 loses its customer route and must go via u2.
   sim.fail_link(F1::u3, F1::u6);
-  sim.run_until_quiescent();
+  quiesce(sim);
   EXPECT_GT(sim.stats().updates(), 0u);
 
   auto failed_topo = F1::topology();
@@ -161,15 +163,15 @@ TEST(Simulator, LinkRestorationRecoversOriginalState) {
   GrPathAlgebra alg;
   Simulator sim(topo, alg, bgp_config());
   sim.originate(bp("10"), F1::origin_q, kOriginAttr);
-  sim.run_until_quiescent();
+  quiesce(sim);
   const auto before = sim.elected(F1::u3, bp("10"));
 
   sim.fail_link(F1::u3, F1::u6);
-  sim.run_until_quiescent();
+  quiesce(sim);
   EXPECT_NE(sim.elected(F1::u3, bp("10")), before);
 
   sim.restore_link(F1::u3, F1::u6);
-  sim.run_until_quiescent();
+  quiesce(sim);
   EXPECT_EQ(sim.elected(F1::u3, bp("10")), before);
 }
 
@@ -178,18 +180,18 @@ TEST(Simulator, SnapshotRestoreReproducesTrialsExactly) {
   GrPathAlgebra alg;
   Simulator sim(topo, alg, bgp_config());
   sim.originate(bp("10"), F1::origin_q, kOriginAttr);
-  sim.run_until_quiescent();
+  quiesce(sim);
   const auto snap = sim.snapshot();
 
   sim.reset_stats();
   sim.fail_link(F1::u4, F1::u6);
-  sim.run_until_quiescent();
+  quiesce(sim);
   const auto first_updates = sim.stats().updates();
 
   sim.restore(snap);
   sim.reset_stats();
   sim.fail_link(F1::u4, F1::u6);
-  sim.run_until_quiescent();
+  quiesce(sim);
   EXPECT_EQ(sim.stats().updates(), first_updates);
 }
 
@@ -198,9 +200,9 @@ TEST(Simulator, WithdrawOriginRemovesPrefixNetworkWide) {
   GrPathAlgebra alg;
   Simulator sim(topo, alg, bgp_config());
   sim.originate(bp("10"), F1::origin_p, kOriginAttr);
-  sim.run_until_quiescent();
+  quiesce(sim);
   sim.withdraw_origin(bp("10"), F1::origin_p);
-  sim.run_until_quiescent();
+  quiesce(sim);
   for (NodeId u = 0; u < topo.node_count(); ++u) {
     EXPECT_EQ(sim.elected(u, bp("10")), algebra::kUnreachable) << u;
   }
@@ -217,7 +219,7 @@ TEST(DragonEngine, Figure1FilteringFixpoint) {
   Simulator sim(topo, alg, dragon_config());
   sim.originate(bp("10"), F1::origin_p, kOriginAttr);     // p
   sim.originate(bp("10000"), F1::origin_q, kOriginAttr);  // q
-  sim.run_until_quiescent();
+  quiesce(sim);
 
   // §3.1: u2 and u5 filter q; u1 is oblivious of q.
   EXPECT_TRUE(sim.filtered(F1::u2, bp("10000")));
@@ -255,12 +257,12 @@ TEST(DragonEngine, PeerFailureIsHandledLocally) {
   Simulator sim(topo, alg, dragon_config());
   sim.originate(bp("10"), F1::origin_p, kOriginAttr);
   sim.originate(bp("10000"), F1::origin_q, kOriginAttr);
-  sim.run_until_quiescent();
+  quiesce(sim);
   ASSERT_FALSE(sim.filtered(F1::u3, bp("10000")));
   ASSERT_TRUE(sim.fib_active(F1::u3, bp("10000")));
 
   sim.fail_link(F1::u3, F1::u6);
-  sim.run_until_quiescent();
+  quiesce(sim);
   EXPECT_FALSE(sim.fib_active(F1::u3, bp("10000")));  // u3 forgoes q
   EXPECT_EQ(sim.stats().deaggregations, 0u);
   EXPECT_TRUE(sim.originates(F1::u4, bp("10")));  // p untouched
@@ -280,10 +282,10 @@ TEST(DragonEngine, OriginFailureTriggersDeaggregation) {
   Simulator sim(topo, alg, dragon_config());
   sim.originate(bp("10"), F1::origin_p, kOriginAttr);
   sim.originate(bp("10000"), F1::origin_q, kOriginAttr);
-  sim.run_until_quiescent();
+  quiesce(sim);
 
   sim.fail_link(F1::u4, F1::u6);
-  sim.run_until_quiescent();
+  quiesce(sim);
 
   EXPECT_GT(sim.stats().deaggregations, 0u);
   // u4 no longer announces p itself...
@@ -308,7 +310,7 @@ TEST(DragonEngine, OriginFailureTriggersDeaggregation) {
 
   // Repairing the link re-aggregates: u4 announces p again, u2 stops.
   sim.restore_link(F1::u4, F1::u6);
-  sim.run_until_quiescent();
+  quiesce(sim);
   EXPECT_GT(sim.stats().reaggregations, 0u);
   EXPECT_TRUE(sim.originates(F1::u4, bp("10")));
   EXPECT_FALSE(sim.originates(F1::u4, bp("101")));
@@ -335,9 +337,9 @@ TEST(DragonEngine, RaDowngradeWhenMoreSpecificsTileTheRoot) {
   // decision for p).
   sim.originate(bp("100"), C, kOriginAttr);
   sim.originate(bp("101"), C, kOriginAttr);
-  sim.run_until_quiescent();
+  quiesce(sim);
   sim.originate(bp("10"), X, kOriginAttr);
-  sim.run_until_quiescent();
+  quiesce(sim);
 
   EXPECT_GT(sim.stats().downgrades, 0u);
   EXPECT_EQ(sim.stats().deaggregations, 0u);
@@ -368,7 +370,7 @@ TEST(DragonEngine, Figure5AnycastAggregation) {
   sim.originate(bp("1011"), F5::t3, kOriginAttr);
   // Watch the aggregation root: u3 and u4 discover the tiling themselves.
   sim.watch_aggregate(bp("10"), kOriginAttr);
-  sim.run_until_quiescent();
+  quiesce(sim);
 
   EXPECT_TRUE(sim.originates(F5::u3, bp("10")));
   EXPECT_TRUE(sim.originates(F5::u4, bp("10")));
@@ -392,7 +394,7 @@ TEST(DragonEngine, Figure6TakeoverAndStop) {
   sim.originate(bp("1010"), F6::t2, kOriginAttr);
   sim.originate(bp("1011"), F6::t3, kOriginAttr);
   sim.watch_aggregate(bp("10"), kOriginAttr);
-  sim.run_until_quiescent();
+  quiesce(sim);
 
   EXPECT_TRUE(sim.originates(F6::u2, bp("10")));
   EXPECT_FALSE(sim.originates(F6::u1, bp("10")));
@@ -430,14 +432,14 @@ TEST(DragonEngine, FewerUpdatesThanBgpAcrossFailures) {
     for (const char* s : {"100", "101", "1000", "1011"}) {
       sim.originate(bp(s), owner, kOriginAttr);
     }
-    sim.run_until_quiescent();
+    quiesce(sim);
     const auto snap = sim.snapshot();
     std::uint64_t total = 0;
     for (std::size_t i = 0; i < links.size(); i += 3) {  // sample every 3rd
       sim.restore(snap);
       sim.reset_stats();
       sim.fail_link(links[i].a, links[i].b);
-      sim.run_until_quiescent();
+      quiesce(sim);
       if (sim.stats().deaggregations == 0) total += sim.stats().updates();
     }
     return total;
@@ -462,7 +464,7 @@ TEST(Observability, StatsFacadeAgreesWithRegistry) {
   Simulator sim(topo, alg, dragon_config());
   sim.originate(bp("1"), F2::origin_q, kOriginAttr);    // q at u1
   sim.originate(bp("10"), F2::origin_p, kOriginAttr);   // p at u3
-  sim.run_until_quiescent();
+  quiesce(sim);
 
   const auto check_agreement = [&] {
     const Stats facade = sim.stats();
@@ -499,7 +501,7 @@ TEST(Observability, StatsFacadeAgreesWithRegistry) {
   check_agreement();
   EXPECT_EQ(sim.stats().updates(), 0u);
   sim.fail_link(F2::u2, F2::u3);
-  sim.run_until_quiescent();
+  quiesce(sim);
   check_agreement();
 }
 
@@ -511,7 +513,7 @@ TEST(Observability, FibGaugeMatchesFibSizes) {
   Simulator sim(topo, alg, dragon_config());
   sim.originate(bp("10"), F1::origin_p, kOriginAttr);
   sim.originate(bp("10000"), F1::origin_q, kOriginAttr);
-  sim.run_until_quiescent();
+  quiesce(sim);
 
   const auto fib_sum = [&] {
     std::size_t sum = 0;
@@ -526,7 +528,7 @@ TEST(Observability, FibGaugeMatchesFibSizes) {
   EXPECT_EQ(static_cast<std::size_t>(gauge->value()), fib_sum());
 
   sim.fail_link(F1::u4, F1::u6);
-  sim.run_until_quiescent();
+  quiesce(sim);
   EXPECT_EQ(static_cast<std::size_t>(gauge->value()), fib_sum());
 }
 
@@ -541,7 +543,7 @@ TEST(Observability, TracerCapturesConvergence) {
   obs::EventTracer tracer(1 << 12);
   sim.set_tracer(&tracer);
   sim.originate(bp("10"), F1::origin_p, kOriginAttr);
-  sim.run_until_quiescent();
+  quiesce(sim);
 
   std::uint64_t announces = 0, installs = 0;
   double last_t = -1.0;
@@ -569,7 +571,7 @@ TEST(Observability, TimelineSamplesConvergence) {
   obs::Timeline timeline(0.005);  // half a link delay, so grid ticks fire
   sim.attach_timeline(&timeline);
   sim.originate(bp("10"), F1::origin_p, kOriginAttr);
-  sim.run_until_quiescent();
+  quiesce(sim);
   sim.attach_timeline(nullptr);
 
   const auto& samples = timeline.samples();

@@ -16,6 +16,7 @@
 #include "engine/simulator.hpp"
 #include "prefix/prefix_forest.hpp"
 #include "routecomp/gr_sweep.hpp"
+#include "test_support.hpp"
 #include "topology/generator.hpp"
 #include "util/rng.hpp"
 
@@ -26,6 +27,7 @@ using algebra::GrClass;
 using algebra::GrPathAlgebra;
 using prefix::Prefix;
 using topology::NodeId;
+using dragon::testing::quiesce;
 
 constexpr algebra::Attr kOriginAttr =
     GrPathAlgebra::make(GrClass::kCustomer, 0);
@@ -62,7 +64,7 @@ TEST_P(EngineVsStatic, BgpEngineMatchesSweepOnRandomTopologies) {
       static_cast<NodeId>(rng.below(gen.graph.node_count()));
   const auto p = *Prefix::from_bit_string("101");
   sim.originate(p, origin, kOriginAttr);
-  sim.run_until_quiescent();
+  quiesce(sim);
 
   const auto sweep = routecomp::gr_sweep(gen.graph, origin);
   for (NodeId u = 0; u < gen.graph.node_count(); ++u) {
@@ -105,7 +107,7 @@ TEST_P(EngineVsStatic, DragonEngineMatchesOptimalForgoSet) {
   const auto q = *Prefix::from_bit_string("10110");
   sim.originate(p, tp, kOriginAttr);
   sim.originate(q, tq, kOriginAttr);
-  sim.run_until_quiescent();
+  quiesce(sim);
 
   // Optimal forgo set from the static theory (class-only attributes).
   algebra::GrAlgebra gr;
@@ -134,7 +136,7 @@ TEST_P(EngineVsStatic, DeliverySurvivesRandomFailuresUnderDragon) {
   const auto q = *Prefix::from_bit_string("0111");
   sim.originate(p, tp, kOriginAttr);
   if (tq != tp) sim.originate(q, tq, kOriginAttr);
-  sim.run_until_quiescent();
+  quiesce(sim);
   const auto snap = sim.snapshot();
 
   util::Rng rng(GetParam() + 1300);
@@ -143,7 +145,7 @@ TEST_P(EngineVsStatic, DeliverySurvivesRandomFailuresUnderDragon) {
     sim.restore(snap);
     const auto& link = links[rng.below(links.size())];
     sim.fail_link(link.a, link.b);
-    sim.run_until_quiescent();
+    quiesce(sim);
     // Nodes that the failure genuinely cut off from the q origin (e.g. a
     // single-homed stub losing its provider) are exempt; everyone else
     // must still deliver.
