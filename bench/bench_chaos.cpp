@@ -23,6 +23,7 @@
 #include "chaos/fault_plan.hpp"
 #include "chaos/invariants.hpp"
 #include "chaos/oracle.hpp"
+#include "chaos/sweep.hpp"
 #include "chaos/watchdog.hpp"
 #include "engine/simulator.hpp"
 #include "obs/trace.hpp"
@@ -80,11 +81,14 @@ int main(int argc, char** argv) {
   util::Flags flags;
   bench::define_scenario_flags(flags);
   bench::define_obs_flags(flags);
-  flags.define("schedules", "40", "fault schedules per burst size");
+  bench::define_exec_flags(flags);
+  flags.define_int("schedules", 40, "fault schedules per burst size", 1,
+                   1 << 24);
   flags.define("bursts", "1,2,4", "correlated-burst sizes to sweep");
-  flags.define("events", "5", "fault events per schedule");
+  flags.define_int("events", 5, "fault events per schedule", 1, 1 << 20);
   flags.define("horizon", "120", "fault window length (sim seconds)");
-  flags.define("prefixes", "12", "originations sampled from the assignment");
+  flags.define_int("prefixes", 12, "originations sampled from the assignment",
+                   1, 1 << 20);
   flags.define("mrai", "5", "MRAI (sim seconds; small keeps recovery sharp)");
   flags.define("restore-prob", "0.6", "P(failed link/node gets restored)");
   flags.define("node-fault-prob", "0.2", "P(event downs a whole node)");
@@ -92,8 +96,9 @@ int main(int argc, char** argv) {
   flags.define("msg-loss", "0", "P(update dropped and retransmitted)");
   flags.define("msg-dup", "0", "P(update delivered twice)");
   flags.define("msg-delay-prob", "0", "P(update gets extra one-way delay)");
-  flags.define("invariant-sources", "96",
-               "forwarding-walk source nodes sampled per audit");
+  flags.define_int("invariant-sources", 96,
+                   "forwarding-walk source nodes sampled per audit", 1,
+                   1 << 24);
   flags.define("strict", "true",
                "oracle compares raw attributes (exact for GR algebras)");
   flags.define("trace-file", "",
@@ -109,9 +114,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  auto pool = bench::make_thread_pool(flags);
   obs::MetricsRegistry agg, bench_metrics;
   obs::EventTracer tracer(1 << 16);
   const bool tracing = !flags.str("trace-file").empty();
+  if (tracing && pool != nullptr) {
+    // The tracer is a single coherent stream; interleaving schedules from
+    // worker threads would scramble it.
+    DRAGON_LOG_WARN("--trace-file forces sequential execution (--threads 1)");
+    pool.reset();
+  }
+  const std::size_t threads = pool != nullptr ? pool->size() : 1;
   if (tracing) {
     if (!tracer.open_sink(flags.str("trace-file"))) {
       std::fprintf(stderr, "cannot open --trace-file %s\n",
@@ -119,7 +132,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     // Reproducibility header: the trace replays from its own first line.
-    tracer.note(bench::run_meta_json("bench_chaos", flags.u64("seed")));
+    tracer.note(bench::run_meta_json("bench_chaos", flags.u64("seed"), threads));
   }
 
   const auto scenario = bench::build_scenario(flags);
@@ -160,79 +173,68 @@ int main(int argc, char** argv) {
   };
   std::vector<BurstRow> rows;
 
+  // The shared sweep description; only the burst size (and the per-schedule
+  // seed, inside the sweep) varies below.
+  chaos::SweepSpec spec;
+  spec.topo = &topo;
+  spec.alg = &alg;
+  spec.config = make_config(flags, /*seed=*/0);  // overridden per schedule
+  spec.origins = origins;
+  spec.params.horizon = flags.f64("horizon");
+  spec.params.events = flags.u64("events");
+  spec.params.restore_prob = flags.f64("restore-prob");
+  spec.params.node_fault_prob = flags.f64("node-fault-prob");
+  spec.params.origin_flap_prob = flags.f64("origin-flap-prob");
+  spec.invariants.max_sources = flags.u64("invariant-sources");
+  spec.oracle.strict_attrs = flags.boolean("strict");
+
   for (const std::size_t burst : bursts) {
     BurstRow row;
     row.burst = burst;
+    spec.params.burst = burst;
     // Schedule seeds fork off the trial stream once per burst size, so
     // adding burst sizes never perturbs the earlier sweeps.
     util::Rng burst_rng = trial_master.fork();
-    for (std::uint64_t s = 0; s < flags.u64("schedules"); ++s) {
-      const std::uint64_t seed = burst_rng();
-      engine::Simulator sim(topo, alg, make_config(flags, seed));
-      if (tracing) sim.set_tracer(&tracer);
-      for (const auto& o : origins) sim.originate(o.prefix, o.origin, o.attr);
-      auto run = chaos::run_to_quiescence(sim);
-      if (!run.quiescent) {
-        std::fprintf(stderr, "initial convergence stalled (seed=%llu)\n%s",
-                     static_cast<unsigned long long>(seed),
-                     run.diagnostics.c_str());
-        return 1;
+    std::vector<std::uint64_t> seeds(flags.u64("schedules"));
+    for (auto& s : seeds) s = burst_rng();
+
+    std::vector<chaos::ScheduleOutcome> outcomes;
+    if (tracing) {
+      // Sequential with the tracer attached (pool was dropped above).
+      outcomes.reserve(seeds.size());
+      for (const std::uint64_t seed : seeds) {
+        outcomes.push_back(chaos::run_schedule(spec, seed, &tracer));
       }
+    } else {
+      outcomes = chaos::run_schedule_sweep(spec, seeds, pool.get());
+    }
 
-      chaos::PlanParams params;
-      params.start = sim.now();
-      params.horizon = flags.f64("horizon");
-      params.events = flags.u64("events");
-      params.burst = burst;
-      params.restore_prob = flags.f64("restore-prob");
-      params.node_fault_prob = flags.f64("node-fault-prob");
-      params.origin_flap_prob = flags.f64("origin-flap-prob");
-      const chaos::FaultPlan plan =
-          chaos::generate_plan(topo, origins, params, seed);
-      if (plan.actions.empty()) continue;
-      const double first_action = plan.actions.front().t;
-
-      sim.reset_stats();
-      chaos::schedule_plan(sim, plan);
-      run = chaos::run_to_quiescence(sim);
-      const auto fail = [&](const char* what, const std::string& detail) {
+    // Outcomes are index-aligned with the seed list, so aggregation below
+    // is identical for any thread count.
+    for (const auto& out : outcomes) {
+      if (out.skipped) continue;
+      if (!out.ok()) {
         std::fprintf(stderr,
-                     "CHAOS VIOLATION (%s)\n  burst=%zu seed=%llu\n%s\n"
+                     "CHAOS VIOLATION\n  burst=%zu seed=%llu\n%s\n"
                      "  replay plan: %s\n",
-                     what, burst, static_cast<unsigned long long>(seed),
-                     detail.c_str(), plan.to_json().c_str());
+                     burst, static_cast<unsigned long long>(out.seed),
+                     out.diagnostics.c_str(), out.plan_json.c_str());
         tracer.flush();
         return 1;
-      };
-      if (!run.quiescent) return fail("watchdog", run.diagnostics);
-
-      chaos::InvariantOptions iopts;
-      iopts.max_sources = flags.u64("invariant-sources");
-      const auto report = chaos::check_invariants(sim, iopts);
-      if (!report.ok()) return fail("invariants", report.to_string());
-      chaos::OracleOptions oopts;
-      oopts.strict_attrs = flags.boolean("strict");
-      const auto oracle = chaos::differential_check(sim, {}, oopts);
-      if (!oracle.match) return fail("oracle", oracle.to_string());
-
-      const auto stats = sim.stats();
-      row.recovery_first.push_back(run.end_time - first_action);
-      row.recovery_last.push_back(run.end_time - plan.last_time());
-      row.updates.push_back(static_cast<double>(stats.updates()));
-      row.deaggregations += stats.deaggregations;
-      if (const auto* lost =
-              sim.metrics().find_counter("dragon.engine.msgs_lost")) {
-        row.msgs_lost += lost->value();
       }
-      agg.merge_from(sim.metrics());
+      row.recovery_first.push_back(out.end_time - out.first_action);
+      row.recovery_last.push_back(out.end_time - out.last_action);
+      row.updates.push_back(static_cast<double>(out.stats.updates()));
+      row.deaggregations += out.stats.deaggregations;
+      row.msgs_lost += out.msgs_lost;
+      agg.merge_from(out.metrics);
       char name[64];
       std::snprintf(name, sizeof name, "chaos.recovery_ms.burst.%zu", burst);
       bench_metrics.histogram(name)->observe(
           static_cast<std::uint64_t>(row.recovery_last.back() * 1e3));
       std::snprintf(name, sizeof name, "chaos.updates.burst.%zu", burst);
-      bench_metrics.histogram(name)->observe(stats.updates());
+      bench_metrics.histogram(name)->observe(out.stats.updates());
       bench_metrics.counter("chaos.schedules")->inc();
-      if (tracing) sim.set_tracer(nullptr);
     }
     rows.push_back(std::move(row));
   }
@@ -257,7 +259,7 @@ int main(int argc, char** argv) {
     bench::write_metrics_json(
         flags.str("metrics-json"),
         {{"bench", &bench_metrics}, {"engine", &agg}},
-        bench::run_meta_json("bench_chaos", flags.u64("seed")));
+        bench::run_meta_json("bench_chaos", flags.u64("seed"), threads));
   }
   std::puts("# all schedules passed invariants and the differential oracle");
   return 0;

@@ -6,11 +6,15 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "addressing/assignment.hpp"
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "topology/cleaner.hpp"
@@ -23,14 +27,62 @@ namespace dragon::bench {
 
 /// Declares the scenario flags every harness shares.
 inline void define_scenario_flags(util::Flags& flags) {
-  flags.define("tier1", "8", "number of tier-1 ASs (peering clique)");
-  flags.define("transit", "250", "number of transit ASs");
-  flags.define("stubs", "1800", "number of stub ASs");
-  flags.define("regions", "5", "number of RIR-like regions");
-  flags.define("seed", "1", "master seed (topology, prefixes, trials)");
+  flags.define_int("tier1", 8, "number of tier-1 ASs (peering clique)", 1,
+                   1 << 16);
+  flags.define_int("transit", 250, "number of transit ASs", 0, 1 << 24);
+  flags.define_int("stubs", 1800, "number of stub ASs", 0, 1 << 24);
+  flags.define_int("regions", 5, "number of RIR-like regions", 1, 1 << 16);
+  flags.define_int("seed", 1, "master seed (topology, prefixes, trials)", 0,
+                   std::numeric_limits<std::int64_t>::max());
   flags.define("paper-scale", "false",
                "approximate the paper's dataset size (39k ASs, takes "
                "minutes)");
+}
+
+/// Declares the execution flags of the parallel trial scheduler.  The
+/// default is hardware_concurrency(); `--threads 0` and negatives are
+/// rejected at parse time (util::Flags integer validation).
+inline void define_exec_flags(util::Flags& flags) {
+  flags.define_int(
+      "threads",
+      static_cast<std::int64_t>(exec::ThreadPool::default_thread_count()),
+      "worker threads for parallel trials/schedules (1: sequential)", 1,
+      4096);
+}
+
+/// The pool for the parsed --threads value; nullptr means "run
+/// sequentially on the calling thread" and is what every exec:: entry
+/// point takes for the 1-thread case.
+inline std::unique_ptr<exec::ThreadPool> make_thread_pool(
+    const util::Flags& flags) {
+  const auto threads = static_cast<std::size_t>(flags.i64("threads"));
+  if (threads <= 1) return nullptr;
+  return std::make_unique<exec::ThreadPool>(threads);
+}
+
+/// Runs `total` independent trials and commits each result in trial order
+/// on the calling thread.  With a pool, trials run concurrently (one
+/// chunk per trial — bench trials are heavyweight); without one they run
+/// inline, commit interleaved.  Either way commit sees trial i's result
+/// exactly once, in order, so aggregation is bit-identical for any
+/// thread count.
+template <typename R>
+inline void run_trials(exec::ThreadPool* pool, std::size_t total,
+                       const std::function<R(std::size_t)>& trial,
+                       const std::function<void(std::size_t, R&)>& commit) {
+  if (pool == nullptr || pool->size() <= 1) {
+    for (std::size_t i = 0; i < total; ++i) {
+      R result = trial(i);
+      commit(i, result);
+    }
+    return;
+  }
+  exec::ParallelOptions opts;
+  opts.chunks = total;
+  std::vector<R> results = exec::parallel_map<R>(
+      pool, total,
+      [&trial](std::size_t i, exec::TaskContext&) { return trial(i); }, opts);
+  for (std::size_t i = 0; i < total; ++i) commit(i, results[i]);
 }
 
 /// Declares the observability flags every harness supports: a JSON dump
@@ -49,13 +101,15 @@ inline void apply_obs_flags(const util::Flags& flags) {
 }
 
 /// The reproducibility header benches prepend to their JSON artifacts:
-/// harness name plus the master seed, so every dump replays from the
-/// file alone.
-inline std::string run_meta_json(const char* bench_name,
-                                 std::uint64_t seed) {
-  char buf[128];
-  std::snprintf(buf, sizeof buf, "{\"bench\":\"%s\",\"seed\":%llu}",
-                bench_name, static_cast<unsigned long long>(seed));
+/// harness name, master seed, and worker-thread count, so every dump
+/// replays from the file alone (threads never changes the numbers — the
+/// runtime is deterministic — but it explains the wall-clock).
+inline std::string run_meta_json(const char* bench_name, std::uint64_t seed,
+                                 std::size_t threads = 1) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"bench\":\"%s\",\"seed\":%llu,\"threads\":%zu}", bench_name,
+                static_cast<unsigned long long>(seed), threads);
   return buf;
 }
 

@@ -12,6 +12,7 @@
 //     (the maxima are dataset properties: the parentless fraction);
 //   * DRG def >= FIB def on every AS; FIB agg within ~1% of DRG agg.
 #include <cstdio>
+#include <map>
 
 #include "bench_common.hpp"
 #include "dragon/aggregation.hpp"
@@ -34,19 +35,29 @@ using topology::NodeId;
 std::vector<fibcomp::Fib> build_fibs(
     const topology::Topology& topo, const addressing::Assignment& assignment,
     const std::vector<core::AggregationPrefix>* aggregates,
-    const std::vector<NodeId>& sample) {
+    const std::vector<NodeId>& sample, exec::ThreadPool* pool) {
   std::vector<fibcomp::Fib> fibs(sample.size());
   const std::size_t total =
       assignment.size() + (aggregates ? aggregates->size() : 0);
   for (auto& fib : fibs) fib.reserve(total);
 
-  // Group prefixes by origin.
-  std::unordered_map<NodeId, std::vector<std::size_t>> by_origin;
+  // Group prefixes by origin, in ascending origin order so the FIB entry
+  // order (and hence the compression input) is canonical regardless of
+  // hashing or thread count.
+  std::map<NodeId, std::vector<std::size_t>> by_origin;
   for (std::size_t i = 0; i < assignment.size(); ++i) {
     by_origin[assignment.origin[i]].push_back(i);
   }
-  for (const auto& [origin, indices] : by_origin) {
-    const auto sweep = routecomp::gr_sweep(topo, origin);
+  std::vector<NodeId> origins;
+  origins.reserve(by_origin.size());
+  for (const auto& [origin, indices] : by_origin) origins.push_back(origin);
+  // One GR sweep per distinct origin — the bench's dominant cost — solved
+  // in parallel; results are index-aligned with `origins`.
+  const auto sweeps = routecomp::gr_sweep_batch(topo, origins, pool);
+  for (std::size_t oi = 0; oi < origins.size(); ++oi) {
+    const NodeId origin = origins[oi];
+    const auto& sweep = sweeps[oi];
+    const auto& indices = by_origin[origin];
     for (std::size_t s = 0; s < sample.size(); ++s) {
       const NodeId u = sample[s];
       const NodeId next = u == origin
@@ -92,11 +103,15 @@ int main(int argc, char** argv) {
   util::Flags flags;
   bench::define_scenario_flags(flags);
   bench::define_obs_flags(flags);
-  flags.define("fib-sample", "250",
-               "ASs sampled for the FIB-compression baselines");
+  bench::define_exec_flags(flags);
+  flags.define_int("fib-sample", 250,
+                   "ASs sampled for the FIB-compression baselines", 1,
+                   1 << 24);
   if (!flags.parse(argc, argv)) return 1;
   flags.print_config("bench_fig8_filtering");
   bench::apply_obs_flags(flags);
+  auto pool = bench::make_thread_pool(flags);
+  const std::size_t threads = pool != nullptr ? pool->size() : 1;
 
   const auto scenario = bench::build_scenario(flags);
   const auto& topo = scenario.generated.graph;
@@ -122,23 +137,29 @@ int main(int argc, char** argv) {
   }
   const auto aggs =
       core::elect_aggregation_prefixes(topo, scenario.assignment);
-  const auto fibs_def = build_fibs(topo, scenario.assignment, nullptr, sample);
-  const auto fibs_agg = build_fibs(topo, scenario.assignment, &aggs, sample);
+  const auto fibs_def =
+      build_fibs(topo, scenario.assignment, nullptr, sample, pool.get());
+  const auto fibs_agg =
+      build_fibs(topo, scenario.assignment, &aggs, sample, pool.get());
 
+  // Per-sample compressions are independent; each chunk writes disjoint
+  // indices, so the parallel loop is trivially thread-count-invariant.
   std::vector<double> fib_def_eff(sample.size());
   std::vector<double> fib_agg_eff(sample.size());
   std::vector<double> drg_def_sampled(sample.size());
-  for (std::size_t s = 0; s < sample.size(); ++s) {
-    fib_def_eff[s] =
-        (total - static_cast<double>(
-                     fibcomp::compress_conservative(fibs_def[s]).size())) /
-        total;
-    fib_agg_eff[s] =
-        (total - static_cast<double>(
-                     fibcomp::compress_ortc(fibs_agg[s]).size())) /
-        total;
-    drg_def_sampled[s] = drg_def.efficiency[sample[s]];
-  }
+  exec::parallel_for(
+      pool.get(), sample.size(),
+      [&](std::size_t s, exec::TaskContext&) {
+        fib_def_eff[s] =
+            (total - static_cast<double>(
+                         fibcomp::compress_conservative(fibs_def[s]).size())) /
+            total;
+        fib_agg_eff[s] =
+            (total - static_cast<double>(
+                         fibcomp::compress_ortc(fibs_agg[s]).size())) /
+            total;
+        drg_def_sampled[s] = drg_def.efficiency[sample[s]];
+      });
 
   // --- Headline table ------------------------------------------------------
   const auto& eff_def = drg_def.efficiency;
@@ -230,7 +251,8 @@ int main(int argc, char** argv) {
     reg.counter("fig8.fib_sample_size")->inc(sample.size());
     bench::write_metrics_json(
         flags.str("metrics-json"), {{"fig8", &reg}},
-        bench::run_meta_json("bench_fig8_filtering", flags.u64("seed")));
+        bench::run_meta_json("bench_fig8_filtering", flags.u64("seed"),
+                             threads));
   }
   return 0;
 }

@@ -14,6 +14,7 @@
 //     one order of magnitude.
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "bench_common.hpp"
@@ -67,17 +68,36 @@ struct Tree {
   std::vector<NodeId> origins;
 };
 
+/// One failure trial's numbers, recorded in-task so trees can run on
+/// worker threads and be aggregated in tree order afterwards.
+struct TrialRecord {
+  double bgp_updates = 0.0;
+  double drg_updates = 0.0;
+  bool deagg = false;
+  bool is_random = false;
+};
+
+struct TreeResult {
+  std::vector<TrialRecord> trials;
+  obs::MetricsRegistry agg_bgp, agg_drg;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Flags flags;
   bench::define_scenario_flags(flags);
   bench::define_obs_flags(flags);
-  flags.define("trees", "20", "non-trivial prefix-trees sampled (paper: 250)");
-  flags.define("trials", "40",
-               "random link failures per tree (paper: 4000)");
-  flags.define("max-tree", "12", "skip trees with more prefixes than this");
-  flags.define("only-tree", "-1", "debug: run only this sampled tree index");
+  bench::define_exec_flags(flags);
+  flags.define_int("trees", 20,
+                   "non-trivial prefix-trees sampled (paper: 250)", 1,
+                   1 << 24);
+  flags.define_int("trials", 40,
+                   "random link failures per tree (paper: 4000)", 1, 1 << 24);
+  flags.define_int("max-tree", 12, "skip trees with more prefixes than this",
+                   1, 1 << 24);
+  flags.define_int("only-tree", -1, "debug: run only this sampled tree index",
+                   -1, 1 << 24);
   flags.define("debug-log", "false", "debug: engine debug logging");
   flags.define("trace-file", "",
                "write the DRAGON trials' structured event trace (JSONL) here");
@@ -98,6 +118,17 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry agg_bgp, agg_drg, bench_metrics;
   obs::EventTracer tracer(1 << 16);
   const bool tracing = !flags.str("trace-file").empty();
+  auto pool = bench::make_thread_pool(flags);
+  if (pool != nullptr &&
+      (tracing || !flags.str("timeline-file").empty())) {
+    // Trace and timeline sinks are single coherent streams; schedules from
+    // worker threads would scramble them.
+    DRAGON_LOG_WARN(
+        "--trace-file/--timeline-file force sequential execution "
+        "(--threads 1)");
+    pool.reset();
+  }
+  const std::size_t threads = pool != nullptr ? pool->size() : 1;
   if (tracing) {
     if (!tracer.open_sink(flags.str("trace-file"))) {
       std::fprintf(stderr, "cannot open --trace-file %s\n",
@@ -105,7 +136,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     tracer.note(bench::run_meta_json("bench_fig9_convergence",
-                                     flags.u64("seed")));
+                                     flags.u64("seed"), threads));
   }
   std::FILE* timeline_out = nullptr;
   if (!flags.str("timeline-file").empty()) {
@@ -127,14 +158,17 @@ int main(int argc, char** argv) {
   util::Rng rng(scenario.trial_seed);
 
   // Bounded convergence: a livelocked run fails loudly with diagnostics
-  // instead of spinning in run_until_quiescent forever.
-  const auto converge = [&](engine::Simulator& sim, const std::string& what) {
-    const chaos::WatchdogResult r =
-        chaos::run_to_quiescence(sim, {1e6, 50'000'000}, &tracer);
+  // instead of spinning in run_until_quiescent forever.  Throws so a
+  // failure on a worker thread propagates through the pool join instead
+  // of exiting mid-flight under other workers.
+  const auto converge = [&tracer, tracing](engine::Simulator& sim,
+                                           const std::string& what) {
+    const chaos::WatchdogResult r = chaos::run_to_quiescence(
+        sim, {1e6, 50'000'000}, tracing ? &tracer : nullptr);
     if (!r.quiescent) {
       std::fprintf(stderr, "# FATAL: %s tripped the convergence watchdog\n%s\n",
                    what.c_str(), r.diagnostics.c_str());
-      std::exit(1);
+      throw std::runtime_error(what + " tripped the convergence watchdog");
     }
   };
 
@@ -166,11 +200,18 @@ int main(int argc, char** argv) {
   std::uint64_t trials_total = 0, trials_deagg = 0;
   std::uint64_t random_total = 0, random_deagg = 0;
 
-  for (std::size_t t = 0; t < trees.size(); ++t) {
+  // Each tree is independent: its own pair of simulators and its own RNG
+  // stream forked from the trial seed by tree index (fork_stream), so the
+  // sampled failure links are identical for any thread count.  (This
+  // changes the samples for a given --seed relative to the old shared
+  // sequential stream.)
+  const auto run_tree = [&](std::size_t t) -> TreeResult {
+    TreeResult res;
     if (flags.i64("only-tree") >= 0 &&
         t != static_cast<std::size_t>(flags.i64("only-tree"))) {
-      continue;
+      return res;
     }
+    util::Rng tree_rng = rng.fork_stream(t);
     const Tree& tree = trees[t];
     engine::Simulator bgp(topo, alg, make_config(false, flags.u64("seed")));
     engine::Simulator drg(topo, alg, make_config(true, flags.u64("seed")));
@@ -183,7 +224,8 @@ int main(int argc, char** argv) {
     const auto bgp_snap = bgp.snapshot();
     const auto drg_snap = drg.snapshot();
     // Trace only the DRAGON trials: the BGP twin runs the same failures and
-    // would double every record with no extra information.
+    // would double every record with no extra information.  (Tracing forced
+    // --threads 1 above, so the shared tracer sees one schedule at a time.)
     if (tracing) drg.set_tracer(&tracer);
 
     // Trial set: random links drawn from the links that actually carry the
@@ -197,7 +239,7 @@ int main(int argc, char** argv) {
     const auto used = bgp.forwarding_links();
     std::vector<std::pair<NodeId, NodeId>> trial_links;
     for (std::uint64_t k = 0; k < flags.u64("trials") && !used.empty(); ++k) {
-      trial_links.push_back(used[rng.below(used.size())]);
+      trial_links.push_back(used[tree_rng.below(used.size())]);
     }
     const std::size_t random_trials = trial_links.size();
     for (std::size_t i = 1; i < tree.origins.size(); ++i) {
@@ -211,9 +253,8 @@ int main(int argc, char** argv) {
                  trial_links.size(), used.size());
     for (std::size_t trial = 0; trial < trial_links.size(); ++trial) {
       const auto [a, b] = trial_links[trial];
-      const bool is_random = trial < random_trials;
-      ++trials_total;
-      if (is_random) ++random_total;
+      TrialRecord rec;
+      rec.is_random = trial < random_trials;
       bgp.restore(bgp_snap);
       bgp.reset_stats();
       bgp.fail_link(a, b);
@@ -244,7 +285,7 @@ int main(int argc, char** argv) {
       converge(drg, "tree " + std::to_string(t) + " trial " +
                         std::to_string(trial) + " dragon");
       const auto drg_updates = drg.stats().updates();
-      const bool deagg = drg.stats().deaggregations > 0;
+      rec.deagg = drg.stats().deaggregations > 0;
       if (timeline_out != nullptr) {
         char extra[96];
         std::snprintf(extra, sizeof extra,
@@ -269,13 +310,8 @@ int main(int argc, char** argv) {
         tracer.note(note);
       }
 
-      agg_bgp.merge_from(bgp.metrics());
-      agg_drg.merge_from(drg.metrics());
-      bench_metrics.counter("fig9.trials")->inc();
-      bench_metrics.histogram("fig9.updates_per_trial.bgp")
-          ->observe(bgp_updates);
-      bench_metrics.histogram("fig9.updates_per_trial.dragon")
-          ->observe(drg_updates);
+      res.agg_bgp.merge_from(bgp.metrics());
+      res.agg_drg.merge_from(drg.metrics());
       if (drg_updates > 100000 || bgp_updates > 100000) {
         std::fprintf(stderr,
                      "#   HOT trial {%u,%u}: bgp=%llu drg=%llu deagg=%llu "
@@ -287,17 +323,45 @@ int main(int argc, char** argv) {
                      (unsigned long long)drg.stats().agg_originations);
       }
 
-      if (deagg) {
+      rec.bgp_updates = static_cast<double>(bgp_updates);
+      rec.drg_updates = static_cast<double>(drg_updates);
+      res.trials.push_back(rec);
+    }
+    return res;
+  };
+
+  // Committed on the calling thread in tree order (bench::run_trials), so
+  // every CCDF sample list and registry merge is thread-count-invariant.
+  const auto commit_tree = [&](std::size_t /*t*/, TreeResult& res) {
+    for (const TrialRecord& rec : res.trials) {
+      ++trials_total;
+      if (rec.is_random) ++random_total;
+      bench_metrics.counter("fig9.trials")->inc();
+      bench_metrics.histogram("fig9.updates_per_trial.bgp")
+          ->observe(static_cast<std::uint64_t>(rec.bgp_updates));
+      bench_metrics.histogram("fig9.updates_per_trial.dragon")
+          ->observe(static_cast<std::uint64_t>(rec.drg_updates));
+      if (rec.deagg) {
         ++trials_deagg;
         bench_metrics.counter("fig9.trials_deagg")->inc();
-        if (is_random) ++random_deagg;
-        bgp_deagg.push_back(static_cast<double>(bgp_updates));
-        drg_deagg.push_back(static_cast<double>(drg_updates));
+        if (rec.is_random) ++random_deagg;
+        bgp_deagg.push_back(rec.bgp_updates);
+        drg_deagg.push_back(rec.drg_updates);
       } else {
-        bgp_normal.push_back(static_cast<double>(bgp_updates));
-        drg_normal.push_back(static_cast<double>(drg_updates));
+        bgp_normal.push_back(rec.bgp_updates);
+        drg_normal.push_back(rec.drg_updates);
       }
     }
+    agg_bgp.merge_from(res.agg_bgp);
+    agg_drg.merge_from(res.agg_drg);
+  };
+
+  try {
+    bench::run_trials<TreeResult>(pool.get(), trees.size(), run_tree,
+                                  commit_tree);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "# FATAL: %s\n", e.what());
+    return 1;
   }
 
   // --- Headline table ------------------------------------------------------
@@ -390,7 +454,8 @@ int main(int argc, char** argv) {
     bench::write_metrics_json(
         flags.str("metrics-json"),
         {{"bench", &bench_metrics}, {"bgp", &agg_bgp}, {"dragon", &agg_drg}},
-        bench::run_meta_json("bench_fig9_convergence", flags.u64("seed")));
+        bench::run_meta_json("bench_fig9_convergence", flags.u64("seed"),
+                             threads));
   }
   return 0;
 }

@@ -1,0 +1,224 @@
+// Scaling harness — wall-clock speedup of the parallel execution runtime.
+//
+// Runs the same chaos schedule sweep (bring-up, fault replay,
+// re-convergence, invariant + oracle audits per schedule; see
+// chaos/sweep.hpp) once per entry of --threads-list and reports seconds
+// and speedup relative to the first entry.  Because the runtime is
+// deterministic by construction (DESIGN.md §8), every thread count must
+// produce bit-identical per-schedule outcomes — the harness cross-checks
+// that on every run and fails loudly on any divergence, so the speedup
+// curve doubles as an end-to-end determinism audit.
+//
+// Always writes a metrics JSON artifact (default BENCH_scaling.json):
+// gauges scaling.seconds.threads.T and scaling.speedup.threads.T per
+// sweep, plus the schedule count.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "algebra/gr_path_algebra.hpp"
+#include "chaos/sweep.hpp"
+#include "stats/table.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dragon;
+using algebra::GrClass;
+using algebra::GrPathAlgebra;
+
+constexpr algebra::Attr kOriginAttr = GrPathAlgebra::make(GrClass::kCustomer, 0);
+
+std::vector<std::size_t> parse_list(const std::string& spec) {
+  std::vector<std::size_t> out;
+  std::size_t value = 0;
+  bool have = false;
+  for (const char c : spec + ",") {
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+      have = true;
+    } else if (have) {
+      if (value > 0) out.push_back(value);
+      value = 0;
+      have = false;
+    }
+  }
+  return out;
+}
+
+/// The per-schedule fields that must match across thread counts.
+struct Digest {
+  std::uint64_t seed = 0;
+  bool skipped = false;
+  bool ok = false;
+  double end_time = 0.0;
+  std::uint64_t announcements = 0;
+  std::uint64_t withdrawals = 0;
+  std::uint64_t deaggregations = 0;
+  std::uint64_t msgs_lost = 0;
+
+  bool operator==(const Digest&) const = default;
+};
+
+Digest digest_of(const chaos::ScheduleOutcome& out) {
+  Digest d;
+  d.seed = out.seed;
+  d.skipped = out.skipped;
+  d.ok = out.ok();
+  d.end_time = out.end_time;
+  d.announcements = out.stats.announcements;
+  d.withdrawals = out.stats.withdrawals;
+  d.deaggregations = out.stats.deaggregations;
+  d.msgs_lost = out.msgs_lost;
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  bench::define_scenario_flags(flags);
+  bench::define_obs_flags(flags);
+  flags.define("threads-list", "1,2,4,8",
+               "thread counts to sweep (first entry is the baseline)");
+  flags.define_int("schedules", 32, "fault schedules per sweep", 1, 1 << 20);
+  flags.define_int("events", 5, "fault events per schedule", 1, 1 << 20);
+  flags.define_int("prefixes", 12, "originations sampled from the assignment",
+                   1, 1 << 20);
+  flags.define_int("burst", 2, "correlated-burst size", 1, 1 << 20);
+  flags.define("horizon", "120", "fault window length (sim seconds)");
+  flags.define("mrai", "5", "MRAI (sim seconds)");
+  if (!flags.parse(argc, argv)) return 1;
+  flags.print_config("bench_scaling");
+  bench::apply_obs_flags(flags);
+
+  const auto thread_counts = parse_list(flags.str("threads-list"));
+  if (thread_counts.empty()) {
+    std::fprintf(stderr, "no thread counts in --threads-list=%s\n",
+                 flags.str("threads-list").c_str());
+    return 1;
+  }
+
+  const auto scenario = bench::build_scenario(flags);
+  const auto& topo = scenario.generated.graph;
+  addressing::AssignmentCleanReport clean_report;
+  const auto cleaned =
+      addressing::clean_assignment(topo, scenario.assignment, &clean_report);
+
+  std::vector<chaos::OriginSpec> origins;
+  std::set<prefix::Prefix> used;
+  for (std::size_t i = 0;
+       i < cleaned.size() && origins.size() < flags.u64("prefixes"); ++i) {
+    if (used.insert(cleaned.prefixes[i]).second) {
+      origins.push_back({cleaned.prefixes[i], cleaned.origin[i], kOriginAttr});
+    }
+  }
+  if (origins.empty()) {
+    std::fprintf(stderr, "assignment produced no usable originations\n");
+    return 1;
+  }
+
+  GrPathAlgebra alg;
+  chaos::SweepSpec spec;
+  spec.topo = &topo;
+  spec.alg = &alg;
+  spec.config.mrai = flags.f64("mrai");
+  spec.config.link_delay = 0.01;
+  spec.config.enable_dragon = true;
+  spec.config.enable_reaggregation = false;
+  spec.config.l_attr = [](algebra::Attr a) {
+    return static_cast<std::uint32_t>(GrPathAlgebra::class_of(a));
+  };
+  spec.origins = origins;
+  spec.params.horizon = flags.f64("horizon");
+  spec.params.events = flags.u64("events");
+  spec.params.burst = flags.u64("burst");
+
+  util::Rng trial_master(scenario.trial_seed);
+  std::vector<std::uint64_t> seeds(flags.u64("schedules"));
+  for (auto& s : seeds) s = trial_master();
+
+  obs::MetricsRegistry reg;
+  stats::Table table({"threads", "seconds", "speedup", "ok", "identical"});
+  std::vector<Digest> baseline;
+  double baseline_seconds = 0.0;
+  bool all_identical = true;
+
+  for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
+    const std::size_t threads = thread_counts[ti];
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<exec::ThreadPool>(threads);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto outcomes = chaos::run_schedule_sweep(spec, seeds, pool.get());
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::size_t ok = 0;
+    std::vector<Digest> digests;
+    digests.reserve(outcomes.size());
+    for (const auto& out : outcomes) {
+      if (out.ok()) ++ok;
+      digests.push_back(digest_of(out));
+    }
+    if (ti == 0) {
+      baseline = digests;
+      baseline_seconds = seconds;
+    }
+    const bool identical = digests == baseline;
+    if (!identical) {
+      all_identical = false;
+      for (std::size_t i = 0; i < digests.size(); ++i) {
+        if (!(digests[i] == baseline[i])) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: schedule %zu (seed=%llu) "
+                       "diverges at %zu threads\n",
+                       i, static_cast<unsigned long long>(digests[i].seed),
+                       threads);
+          break;
+        }
+      }
+    }
+    const double speedup = seconds > 0.0 ? baseline_seconds / seconds : 0.0;
+
+    char name[64];
+    std::snprintf(name, sizeof name, "scaling.seconds.threads.%zu", threads);
+    reg.gauge(name)->set(seconds);
+    std::snprintf(name, sizeof name, "scaling.speedup.threads.%zu", threads);
+    reg.gauge(name)->set(speedup);
+
+    char seconds_s[32], speedup_s[32];
+    std::snprintf(seconds_s, sizeof seconds_s, "%.3f", seconds);
+    std::snprintf(speedup_s, sizeof speedup_s, "%.2fx", speedup);
+    table.add_row({std::to_string(threads), seconds_s, speedup_s,
+                   std::to_string(ok) + "/" + std::to_string(outcomes.size()),
+                   identical ? "yes" : "NO"});
+  }
+  table.print();
+  reg.counter("scaling.schedules")->inc(seeds.size());
+
+  std::string out_path = flags.str("metrics-json");
+  if (out_path.empty()) out_path = "BENCH_scaling.json";
+  std::size_t max_threads = 1;
+  for (const std::size_t t : thread_counts)
+    max_threads = std::max(max_threads, t);
+  bench::write_metrics_json(
+      out_path, {{"scaling", &reg}},
+      bench::run_meta_json("bench_scaling", flags.u64("seed"), max_threads));
+  std::printf("# wrote %s\n", out_path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: outcomes are not identical across thread counts\n");
+    return 1;
+  }
+  std::puts("# outcomes bit-identical across all thread counts");
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "chaos/sweep.hpp"
+
+#include "exec/parallel.hpp"
+
+namespace dragon::chaos {
+
+ScheduleOutcome run_schedule(const SweepSpec& spec, std::uint64_t seed,
+                             obs::EventTracer* tracer) {
+  ScheduleOutcome out;
+  out.seed = seed;
+
+  engine::Config config = spec.config;
+  config.seed = seed;
+  engine::Simulator sim(*spec.topo, *spec.alg, std::move(config));
+  if (tracer != nullptr) sim.set_tracer(tracer);
+  for (const auto& o : spec.origins) sim.originate(o.prefix, o.origin, o.attr);
+  auto run = run_to_quiescence(sim, spec.limits, tracer);
+  if (!run.quiescent) {
+    out.diagnostics = "initial convergence stalled\n" + run.diagnostics;
+    return out;
+  }
+
+  PlanParams params = spec.params;
+  params.start = sim.now();  // fault window opens at the converged state
+  const FaultPlan plan = generate_plan(*spec.topo, spec.origins, params, seed);
+  out.plan_json = plan.to_json();
+  if (plan.actions.empty()) {
+    out.skipped = true;
+    return out;
+  }
+  out.first_action = plan.actions.front().t;
+  out.last_action = plan.last_time();
+
+  sim.reset_stats();
+  schedule_plan(sim, plan);
+  run = run_to_quiescence(sim, spec.limits, tracer);
+  out.quiescent = run.quiescent;
+  out.end_time = run.end_time;
+  if (!run.quiescent) {
+    out.diagnostics = run.diagnostics;
+    return out;
+  }
+
+  if (spec.check_invariants) {
+    const auto report = check_invariants(sim, spec.invariants);
+    out.invariants_ok = report.ok();
+    if (!out.invariants_ok) {
+      out.diagnostics = report.to_string();
+      return out;
+    }
+  } else {
+    out.invariants_ok = true;
+  }
+  if (spec.check_oracle) {
+    const auto oracle = differential_check(sim, {}, spec.oracle);
+    out.oracle_ok = oracle.match;
+    if (!out.oracle_ok) {
+      out.diagnostics = oracle.to_string();
+      return out;
+    }
+  } else {
+    out.oracle_ok = true;
+  }
+
+  out.stats = sim.stats();
+  if (const auto* lost = sim.metrics().find_counter("dragon.engine.msgs_lost")) {
+    out.msgs_lost = lost->value();
+  }
+  out.metrics.merge_from(sim.metrics());
+  return out;
+}
+
+std::vector<ScheduleOutcome> run_schedule_sweep(const SweepSpec& spec,
+                                                std::span<const std::uint64_t> seeds,
+                                                exec::ThreadPool* pool) {
+  // One schedule per chunk: schedules are heavyweight (a full simulator
+  // run each), so per-item dispatch is the right granularity and keeps
+  // worker-level interleaving irrelevant to the outcome list.
+  exec::ParallelOptions opts;
+  opts.chunks = seeds.size();
+  return exec::parallel_map<ScheduleOutcome>(
+      pool, seeds.size(),
+      [&spec, seeds](std::size_t i, exec::TaskContext&) {
+        return run_schedule(spec, seeds[i]);
+      },
+      opts);
+}
+
+}  // namespace dragon::chaos

@@ -1,0 +1,84 @@
+#include "exec/parallel.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+
+namespace dragon::exec {
+
+std::vector<std::pair<std::size_t, std::size_t>> static_chunks(
+    std::size_t n, std::size_t chunks) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  if (n == 0) return out;
+  chunks = std::max<std::size_t>(1, std::min(chunks, n));
+  out.reserve(chunks);
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    out.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return out;
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t, TaskContext&)>& body,
+                  const ParallelOptions& opts) {
+  if (n == 0) return;
+  const std::size_t chunk_count =
+      opts.chunks == 0 ? std::min(n, kDefaultChunks) : opts.chunks;
+  const auto ranges = static_chunks(n, chunk_count);
+  const util::Rng base(opts.seed);
+
+  // Per-chunk shards, created only when a sink wants them.  Slot `c` is
+  // written exclusively by chunk c's task — no sharing, no locks.
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> shards(
+      opts.metrics_sink != nullptr ? ranges.size() : 0);
+
+  const auto run_chunk = [&](std::size_t c) {
+    TaskContext ctx;
+    ctx.chunk = c;
+    ctx.rng = base.fork_stream(c);
+    if (opts.metrics_sink != nullptr) {
+      shards[c] = std::make_unique<obs::MetricsRegistry>();
+      shards[c]->bind_writer();
+      ctx.metrics = shards[c].get();
+    }
+    for (std::size_t i = ranges[c].first; i < ranges[c].second; ++i) {
+      body(i, ctx);
+    }
+  };
+
+  if (pool == nullptr || pool->size() <= 1 || ranges.size() <= 1) {
+    for (std::size_t c = 0; c < ranges.size(); ++c) run_chunk(c);
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(ranges.size());
+    for (std::size_t c = 0; c < ranges.size(); ++c) {
+      futures.push_back(pool->submit([&run_chunk, c] { run_chunk(c); }));
+    }
+    // Collect every chunk before rethrowing, so no task is left touching
+    // stack-allocated state; the lowest-indexed failure wins (stable
+    // error reporting across thread counts).
+    std::exception_ptr first_error;
+    for (auto& future : futures) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  if (opts.metrics_sink != nullptr) {
+    for (auto& shard : shards) {
+      shard->release_writer();
+      opts.metrics_sink->merge_from(*shard);
+    }
+  }
+}
+
+}  // namespace dragon::exec

@@ -1,0 +1,93 @@
+// Deterministic data-parallel primitives over a ThreadPool.
+//
+// The contract that everything in this header upholds: **results are
+// bit-identical for any thread count, including 1** (and for pool ==
+// nullptr, which runs inline).  Three rules make that hold:
+//
+//   1. Static chunking.  [0, n) is split into a chunk list that is a pure
+//      function of (n, opts.chunks) — never of the thread count or of
+//      runtime timing.  Chunks are the unit of scheduling; which worker
+//      runs a chunk is irrelevant because chunks never share mutable
+//      state.
+//   2. Per-chunk RNG forking.  Each chunk's TaskContext carries an Rng
+//      forked as Rng(opts.seed).fork_stream(chunk) — a pure function of
+//      (seed, chunk index), not of dispatch order — so stochastic bodies
+//      draw identical streams no matter how chunks interleave.
+//   3. Per-chunk metrics shards.  Each chunk writes its own private
+//      MetricsRegistry (single writer, no locks on the hot path); shards
+//      are merged into opts.metrics_sink *in chunk order* on the calling
+//      thread at join, so counter sums and gauge last-writer-wins values
+//      are reproducible.
+//
+// Exception propagation: if any chunk body throws, parallel_for rethrows
+// the lowest-indexed chunk's exception after all chunks finished, and the
+// metrics sink is left untouched (partial merges would be ambiguous).
+// See DESIGN.md §8 ("Parallel execution runtime").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace dragon::exec {
+
+/// Per-chunk execution context handed to every body invocation.
+struct TaskContext {
+  /// Chunk index in [0, chunk_count) — stable across thread counts.
+  std::size_t chunk = 0;
+  /// The chunk's private RNG stream: Rng(seed).fork_stream(chunk).
+  util::Rng rng{0};
+  /// The chunk's private metrics shard; nullptr when no sink was given.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct ParallelOptions {
+  /// Fixed chunk count; 0 picks min(n, kDefaultChunks).  Must be chosen
+  /// independently of the thread count or determinism is lost.
+  std::size_t chunks = 0;
+  /// Base seed for the per-chunk RNG streams.
+  std::uint64_t seed = 0;
+  /// When set, each chunk gets a private registry shard, merged into this
+  /// sink in chunk order after the join.
+  obs::MetricsRegistry* metrics_sink = nullptr;
+};
+
+/// Default chunk count: enough slack for load balancing on any sane core
+/// count without per-item dispatch overhead.
+inline constexpr std::size_t kDefaultChunks = 64;
+
+/// Splits [0, n) into at most `chunks` contiguous [begin, end) ranges of
+/// near-equal size (earlier chunks get the remainder).  Pure function of
+/// its arguments; empty when n == 0.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> static_chunks(
+    std::size_t n, std::size_t chunks);
+
+/// Runs body(i, ctx) for every i in [0, n), chunked over `pool` (nullptr
+/// or a 1-thread pool runs inline on the calling thread with identical
+/// semantics).  Blocks until every chunk finished.
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t, TaskContext&)>& body,
+                  const ParallelOptions& opts = {});
+
+/// Like parallel_for, but collects one result per index (R must be
+/// default-constructible; each slot is written exactly once, by the chunk
+/// owning its index).
+template <typename R, typename Fn>
+[[nodiscard]] std::vector<R> parallel_map(ThreadPool* pool, std::size_t n,
+                                          Fn&& fn,
+                                          const ParallelOptions& opts = {}) {
+  std::vector<R> out(n);
+  parallel_for(
+      pool, n,
+      [&out, &fn](std::size_t i, TaskContext& ctx) { out[i] = fn(i, ctx); },
+      opts);
+  return out;
+}
+
+}  // namespace dragon::exec

@@ -1,0 +1,59 @@
+// Fixed-size worker pool for the parallel execution runtime.
+//
+// The pool is deliberately minimal: a bounded set of workers, a FIFO task
+// queue, futures for results and exception propagation, and a graceful
+// shutdown that still runs every task queued before shutdown() was called.
+// All *determinism* machinery (static chunking, per-task RNG forking,
+// per-thread metrics shards) lives one layer up in exec/parallel.hpp — the
+// pool itself only promises that every submitted task runs exactly once on
+// some worker thread.  See DESIGN.md §8 ("Parallel execution runtime").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dragon::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 picks default_thread_count()).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Equivalent to shutdown(): drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues `fn`.  The future resolves once the task ran; an exception
+  /// thrown by the task is captured and rethrown by future.get().  Throws
+  /// std::logic_error after shutdown().
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Graceful shutdown: tasks already queued still run to completion, new
+  /// submissions are rejected, workers are joined.  Idempotent.
+  void shutdown();
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1 (the
+  /// standard allows it to report 0).
+  [[nodiscard]] static std::size_t default_thread_count() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;  // guarded by mu_
+  bool stopping_ = false;                         // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dragon::exec

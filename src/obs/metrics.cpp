@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <cstdio>
+#ifndef NDEBUG
+#include <functional>
+#include <thread>
+#endif
 
 namespace dragon::obs {
 
@@ -138,15 +143,75 @@ void append_number(std::string& out, std::uint64_t v) {
 
 }  // namespace
 
+MetricsRegistry::MetricsRegistry(MetricsRegistry&& other) noexcept
+    : counters_(std::move(other.counters_)),
+      gauges_(std::move(other.gauges_)),
+      histograms_(std::move(other.histograms_)) {}
+
+MetricsRegistry& MetricsRegistry::operator=(MetricsRegistry&& other) noexcept {
+  if (this != &other) {
+    counters_ = std::move(other.counters_);
+    gauges_ = std::move(other.gauges_);
+    histograms_ = std::move(other.histograms_);
+#ifndef NDEBUG
+    writer_.store(0, std::memory_order_relaxed);
+#endif
+  }
+  return *this;
+}
+
+namespace {
+
+#ifndef NDEBUG
+/// Non-zero token identifying the calling thread for the single-writer
+/// check (hash values are stable per thread for its lifetime).
+std::uint64_t writer_token() noexcept {
+  const auto h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return static_cast<std::uint64_t>(h) | 1;
+}
+#endif
+
+}  // namespace
+
+void MetricsRegistry::bind_writer() noexcept {
+#ifndef NDEBUG
+  writer_.store(writer_token(), std::memory_order_relaxed);
+#endif
+}
+
+void MetricsRegistry::release_writer() noexcept {
+#ifndef NDEBUG
+  writer_.store(0, std::memory_order_relaxed);
+#endif
+}
+
+void MetricsRegistry::assert_writer() noexcept {
+#ifndef NDEBUG
+  // First mutator claims the registry; later mutations must come from the
+  // same thread until release_writer()/bind_writer() hands it over.
+  std::uint64_t expected = 0;
+  const std::uint64_t self = writer_token();
+  if (!writer_.compare_exchange_strong(expected, self,
+                                       std::memory_order_relaxed)) {
+    assert(expected == self &&
+           "MetricsRegistry: second writer thread on an unshared registry "
+           "(sharded-registry contract, DESIGN.md §8)");
+  }
+#endif
+}
+
 Counter* MetricsRegistry::counter(std::string_view name) {
+  assert_writer();
   return get_or_create(counters_, name);
 }
 
 Gauge* MetricsRegistry::gauge(std::string_view name) {
+  assert_writer();
   return get_or_create(gauges_, name);
 }
 
 Histogram* MetricsRegistry::histogram(std::string_view name) {
+  assert_writer();
   return get_or_create(histograms_, name);
 }
 
@@ -163,11 +228,13 @@ const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
 }
 
 void MetricsRegistry::reset_accumulators() {
+  assert_writer();
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  assert_writer();
   for (const auto& [name, c] : other.counters_) {
     counter(name)->inc(c->value());
   }
@@ -188,6 +255,7 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot_state() const {
 }
 
 void MetricsRegistry::restore_state(const Snapshot& snap) {
+  assert_writer();
   for (auto& [name, c] : counters_) {
     auto it = snap.counters.find(name);
     c->set(it == snap.counters.end() ? 0 : it->second);

@@ -17,6 +17,7 @@
 // 25%.  Quantile queries interpolate linearly inside the hit bucket.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -97,11 +98,35 @@ class Histogram {
 
 /// Named metrics, created on first use; handles stay valid for the
 /// registry's lifetime.
+///
+/// Threading contract (the sharded-registry contract, DESIGN.md §8): a
+/// registry has at most ONE writer thread at a time; the hot path stays a
+/// plain integer add with no locks.  Parallel code gives every task its
+/// own shard registry and merges shards on the joining thread
+/// (exec::parallel_for).  Debug builds enforce the contract: every
+/// mutating entry point asserts the calling thread matches the thread
+/// that first mutated the registry since the last bind/release.
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+  /// Moves transfer the metric maps only; the debug writer claim does not
+  /// follow (the new owner's first mutation re-binds it).
+  MetricsRegistry(MetricsRegistry&& other) noexcept;
+  MetricsRegistry& operator=(MetricsRegistry&& other) noexcept;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
   Counter* counter(std::string_view name);
   Gauge* gauge(std::string_view name);
   Histogram* histogram(std::string_view name);
+
+  /// Claims the current thread as the registry's single writer (debug
+  /// builds; release no-op).  parallel_for calls this when handing a
+  /// shard to a worker so a stray second writer asserts immediately.
+  void bind_writer() noexcept;
+  /// Releases the writer claim so another thread may take over (e.g. the
+  /// joining thread merging a shard a worker filled).
+  void release_writer() noexcept;
 
   /// Read-only lookup; nullptr when the metric does not exist.
   [[nodiscard]] const Counter* find_counter(std::string_view name) const;
@@ -139,9 +164,15 @@ class MetricsRegistry {
   bool write_json(const std::string& path) const;
 
  private:
+  /// Debug-build single-writer check; 0 = unclaimed (first mutator binds).
+  void assert_writer() noexcept;
+
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+#ifndef NDEBUG
+  std::atomic<std::uint64_t> writer_{0};
+#endif
 };
 
 }  // namespace dragon::obs

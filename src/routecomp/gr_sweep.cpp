@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "exec/parallel.hpp"
+
 namespace dragon::routecomp {
 
 using topology::NodeId;
@@ -100,6 +102,16 @@ GrStableState gr_sweep_multi(const Topology& topo,
 GrStableState gr_sweep(const Topology& topo, NodeId origin) {
   const NodeId origins[1] = {origin};
   return gr_sweep_multi(topo, origins, nullptr);
+}
+
+std::vector<GrStableState> gr_sweep_batch(const Topology& topo,
+                                          std::span<const NodeId> origins,
+                                          exec::ThreadPool* pool) {
+  return exec::parallel_map<GrStableState>(
+      pool, origins.size(),
+      [&topo, origins](std::size_t i, exec::TaskContext&) {
+        return gr_sweep(topo, origins[i]);
+      });
 }
 
 std::vector<NodeId> forwarding_neighbors(const Topology& topo,

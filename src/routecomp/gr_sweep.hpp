@@ -25,6 +25,10 @@
 #include "algebra/gr_algebra.hpp"
 #include "topology/graph.hpp"
 
+namespace dragon::exec {
+class ThreadPool;
+}
+
 namespace dragon::routecomp {
 
 /// Attribute classes per node after convergence; kUnreachableClass for
@@ -59,6 +63,16 @@ struct GrStableState {
 /// Computes the stable state for routes originated at `origin`.
 [[nodiscard]] GrStableState gr_sweep(const topology::Topology& topo,
                                      topology::NodeId origin);
+
+/// Per-prefix parallel solving: computes gr_sweep for every origin,
+/// chunked over `pool` (nullptr runs sequentially).  Results are
+/// index-aligned with `origins` and bit-identical for any thread count —
+/// each sweep is an independent pure function of (topo, origin), so the
+/// only parallel obligation is deterministic placement (DESIGN.md §8).
+[[nodiscard]] std::vector<GrStableState> gr_sweep_batch(
+    const topology::Topology& topo,
+    std::span<const topology::NodeId> origins,
+    exec::ThreadPool* pool = nullptr);
 
 /// Anycast generalisation: all origins announce a customer route; each node
 /// elects the best candidate.  `suppressed`, if given, marks nodes that

@@ -1,10 +1,26 @@
 #include "util/flags.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
 namespace dragon::util {
+
+namespace {
+
+/// Strict base-10 integer parse: the whole string must be consumed and the
+/// value must fit an int64 (no silent atoi-style truncation).
+std::optional<std::int64_t> parse_i64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
 
 void Flags::define(std::string name, std::string default_value,
                    std::string help) {
@@ -12,6 +28,18 @@ void Flags::define(std::string name, std::string default_value,
   e.value = default_value;
   e.default_value = std::move(default_value);
   e.help = std::move(help);
+  entries_.insert_or_assign(std::move(name), std::move(e));
+}
+
+void Flags::define_int(std::string name, std::int64_t default_value,
+                       std::string help, std::int64_t min, std::int64_t max) {
+  Entry e;
+  e.value = std::to_string(default_value);
+  e.default_value = e.value;
+  e.help = std::move(help);
+  e.is_int = true;
+  e.min = min;
+  e.max = max;
   entries_.insert_or_assign(std::move(name), std::move(e));
 }
 
@@ -64,6 +92,18 @@ bool Flags::parse(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
       return false;
     }
+    if (it->second.is_int) {
+      const auto parsed = parse_i64(value);
+      if (!parsed || *parsed < it->second.min || *parsed > it->second.max) {
+        std::fprintf(stderr,
+                     "flag --%s: invalid value '%s' (expected integer in "
+                     "[%lld, %lld])\n",
+                     name.c_str(), value.c_str(),
+                     static_cast<long long>(it->second.min),
+                     static_cast<long long>(it->second.max));
+        return false;
+      }
+    }
     it->second.value = value;
   }
   return true;
@@ -80,11 +120,25 @@ const Flags::Entry& Flags::entry(std::string_view name) const {
 std::string Flags::str(std::string_view name) const { return entry(name).value; }
 
 std::int64_t Flags::i64(std::string_view name) const {
-  return std::strtoll(entry(name).value.c_str(), nullptr, 10);
+  const Entry& e = entry(name);
+  if (e.is_int) {
+    // Parse-time validation guarantees this succeeds for int flags.
+    return *parse_i64(e.value);
+  }
+  return std::strtoll(e.value.c_str(), nullptr, 10);
 }
 
 std::uint64_t Flags::u64(std::string_view name) const {
-  return std::strtoull(entry(name).value.c_str(), nullptr, 10);
+  const Entry& e = entry(name);
+  if (e.is_int) {
+    const std::int64_t v = *parse_i64(e.value);
+    if (v < 0) {
+      throw std::out_of_range("flag --" + std::string(name) +
+                              ": negative value read as unsigned");
+    }
+    return static_cast<std::uint64_t>(v);
+  }
+  return std::strtoull(e.value.c_str(), nullptr, 10);
 }
 
 double Flags::f64(std::string_view name) const {

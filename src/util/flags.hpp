@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -20,6 +21,15 @@ class Flags {
  public:
   /// Declares a flag with a default value and a help line.
   void define(std::string name, std::string default_value, std::string help);
+
+  /// Declares an integer flag validated at parse time: the value must be a
+  /// complete base-10 integer inside [min, max], anything else (garbage,
+  /// trailing junk, out-of-range — e.g. `--threads 0` against min 1) is a
+  /// hard parse error naming the flag and the accepted range.
+  void define_int(std::string name, std::int64_t default_value,
+                  std::string help,
+                  std::int64_t min = std::numeric_limits<std::int64_t>::min(),
+                  std::int64_t max = std::numeric_limits<std::int64_t>::max());
 
   /// Parses argv.  Returns false (after printing a message) on `--help` or
   /// on an unknown/malformed flag; the caller should exit.
@@ -40,6 +50,10 @@ class Flags {
     std::string value;
     std::string default_value;
     std::string help;
+    /// Integer flags carry their accepted range; string flags do not.
+    bool is_int = false;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
   };
   const Entry& entry(std::string_view name) const;
   std::map<std::string, Entry, std::less<>> entries_;

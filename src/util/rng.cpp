@@ -86,4 +86,13 @@ std::uint64_t Rng::truncated_geometric(double p, std::uint64_t cap) noexcept {
 
 Rng Rng::fork() noexcept { return Rng((*this)()); }
 
+Rng Rng::fork_stream(std::uint64_t stream) const noexcept {
+  // Collapse the full 256-bit state and the stream index into one seed
+  // through splitmix64; the golden-ratio multiplier keeps adjacent stream
+  // indices far apart before the mixing rounds.
+  std::uint64_t sm = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 43);
+  sm += 0x9E3779B97F4A7C15ULL * (stream + 1);
+  return Rng(splitmix64(sm));
+}
+
 }  // namespace dragon::util

@@ -59,6 +59,13 @@ class Rng {
   /// this generator's state, so forking preserves determinism.
   [[nodiscard]] Rng fork() noexcept;
 
+  /// Derives the `stream`-th child generator *without advancing this
+  /// generator's state*: the child is a pure function of (current state,
+  /// stream).  Parallel tasks indexed by stream therefore get independent
+  /// generators whose draws do not depend on dispatch order or thread
+  /// count — the forking discipline of exec::parallel_for (DESIGN.md §8).
+  [[nodiscard]] Rng fork_stream(std::uint64_t stream) const noexcept;
+
   /// In-place Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) noexcept {

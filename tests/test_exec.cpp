@@ -1,0 +1,339 @@
+// Parallel execution runtime tests (DESIGN.md §8): thread-pool lifecycle,
+// the determinism contract of parallel_for / fork_stream / metrics shard
+// merging across thread counts, and parallel-vs-sequential equality for
+// the wired subsystems (GR sweeps, the generic solver, chaos schedule
+// sweeps).  The ExecSmoke suite is the `exec_smoke` ctest entry and the
+// tsan-exec-smoke preset filter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algebra/gr_path_algebra.hpp"
+#include "chaos/sweep.hpp"
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "paper_networks.hpp"
+#include "routecomp/generic_solver.hpp"
+#include "routecomp/gr_sweep.hpp"
+#include "topology/generator.hpp"
+#include "util/rng.hpp"
+
+namespace dragon::exec {
+namespace {
+
+using algebra::GrClass;
+using algebra::GrPathAlgebra;
+using prefix::Prefix;
+using topology::NodeId;
+using F1 = dragon::testing::Figure1;
+using F2 = dragon::testing::Figure2;
+
+Prefix bp(const char* s) { return *Prefix::from_bit_string(s); }
+
+constexpr algebra::Attr kCust = GrPathAlgebra::make(GrClass::kCustomer, 0);
+
+// ---------------------------------------------------------------------------
+// ThreadPool lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(ExecSmoke, ShutdownDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.size(), 2u);
+    // The first tasks sleep so later submissions pile up in the queue;
+    // graceful shutdown must still run every one of them.
+    for (int i = 0; i < 64; ++i) {
+      (void)pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    pool.shutdown();
+    EXPECT_EQ(done.load(), 64);
+    pool.shutdown();  // idempotent
+  }  // destructor after explicit shutdown is a no-op
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ExecSmoke, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW((void)pool.submit([] {}), std::logic_error);
+}
+
+TEST(ExecSmoke, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([] { throw std::runtime_error("task failed"); });
+  auto good = pool.submit([] {});
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  good.get();  // the worker survives a throwing task
+  auto after = pool.submit([] {});
+  after.get();
+}
+
+TEST(ExecSmoke, DefaultThreadCountIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// static_chunks
+// ---------------------------------------------------------------------------
+
+TEST(ExecSmoke, StaticChunksPartitionTheRange) {
+  for (const std::size_t n : {0u, 1u, 7u, 64u, 65u, 1000u}) {
+    for (const std::size_t chunks : {1u, 3u, 64u, 2000u}) {
+      const auto ranges = static_chunks(n, chunks);
+      std::size_t covered = 0, expect_begin = 0;
+      for (const auto& [begin, end] : ranges) {
+        EXPECT_EQ(begin, expect_begin);
+        EXPECT_LT(begin, end);
+        covered += end - begin;
+        expect_begin = end;
+      }
+      EXPECT_EQ(covered, n);
+      if (n > 0) {
+        EXPECT_EQ(ranges.size(), std::min(n, std::max<std::size_t>(1, chunks)));
+        // Near-equal sizes: max - min <= 1.
+        std::size_t lo = n, hi = 0;
+        for (const auto& [begin, end] : ranges) {
+          lo = std::min(lo, end - begin);
+          hi = std::max(hi, end - begin);
+        }
+        EXPECT_LE(hi - lo, 1u);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rng fork_stream
+// ---------------------------------------------------------------------------
+
+TEST(ExecSmoke, ForkStreamIsPureAndPerStream) {
+  const util::Rng base(5);
+  util::Rng f1 = base.fork_stream(3);
+  util::Rng f2 = base.fork_stream(3);
+  util::Rng other = base.fork_stream(4);
+  bool differs = false;
+  for (int i = 0; i < 50; ++i) {
+    const auto v = f1();
+    EXPECT_EQ(v, f2());
+    differs |= v != other();
+  }
+  EXPECT_TRUE(differs);
+
+  // fork_stream must not advance the parent: a fresh Rng with the same
+  // seed draws the identical sequence afterwards.
+  util::Rng used(5);
+  (void)used.fork_stream(0);
+  (void)used.fork_stream(77);
+  util::Rng fresh(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(used(), fresh());
+}
+
+// ---------------------------------------------------------------------------
+// parallel_for determinism (RNG streams + metrics shards)
+// ---------------------------------------------------------------------------
+
+struct ParallelRun {
+  std::vector<std::uint64_t> values;
+  std::string metrics_json;
+};
+
+ParallelRun run_stochastic_loop(ThreadPool* pool, std::size_t n) {
+  ParallelRun run;
+  run.values.assign(n, 0);
+  obs::MetricsRegistry sink;
+  ParallelOptions opts;
+  opts.chunks = 16;  // fixed: must not depend on the thread count
+  opts.seed = 99;
+  opts.metrics_sink = &sink;
+  parallel_for(
+      pool, n,
+      [&run](std::size_t i, TaskContext& ctx) {
+        const std::uint64_t draw = ctx.rng();
+        run.values[i] = draw ^ (i * 0x9E3779B97F4A7C15ULL);
+        ctx.metrics->counter("exec.test.items")->inc();
+        ctx.metrics->histogram("exec.test.low3")->observe(draw & 7);
+        ctx.metrics->gauge("exec.test.last_chunk")
+            ->set(static_cast<double>(ctx.chunk));
+      },
+      opts);
+  run.metrics_json = sink.to_json();
+  return run;
+}
+
+TEST(ExecSmoke, ParallelForIsThreadCountInvariant) {
+  constexpr std::size_t kN = 500;
+  const ParallelRun inline_run = run_stochastic_loop(nullptr, kN);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const ParallelRun run = run_stochastic_loop(&pool, kN);
+    EXPECT_EQ(run.values, inline_run.values) << threads << " threads";
+    EXPECT_EQ(run.metrics_json, inline_run.metrics_json)
+        << threads << " threads";
+  }
+  // Sanity on the merged shards: every item counted exactly once, and the
+  // gauge holds the last chunk's value (merge is in chunk order).
+  obs::MetricsRegistry sink;
+  ParallelOptions opts;
+  opts.chunks = 16;
+  opts.seed = 99;
+  opts.metrics_sink = &sink;
+  ThreadPool pool(8);
+  parallel_for(
+      &pool, kN,
+      [](std::size_t, TaskContext& ctx) {
+        ctx.metrics->counter("exec.test.items")->inc();
+        ctx.metrics->gauge("exec.test.last_chunk")
+            ->set(static_cast<double>(ctx.chunk));
+      },
+      opts);
+  EXPECT_EQ(sink.find_counter("exec.test.items")->value(), kN);
+  EXPECT_DOUBLE_EQ(sink.find_gauge("exec.test.last_chunk")->value(), 15.0);
+}
+
+TEST(ExecSmoke, ParallelForExceptionLeavesSinkUntouched) {
+  ThreadPool pool(4);
+  obs::MetricsRegistry sink;
+  ParallelOptions opts;
+  opts.chunks = 8;
+  opts.metrics_sink = &sink;
+  EXPECT_THROW(
+      parallel_for(
+          &pool, 100,
+          [](std::size_t i, TaskContext& ctx) {
+            ctx.metrics->counter("exec.test.items")->inc();
+            if (i == 37) throw std::runtime_error("body failed");
+          },
+          opts),
+      std::runtime_error);
+  EXPECT_EQ(sink.find_counter("exec.test.items"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel == sequential: routecomp
+// ---------------------------------------------------------------------------
+
+TEST(ExecSmoke, GrSweepBatchMatchesSequential) {
+  topology::GeneratorParams params;
+  params.tier1_count = 4;
+  params.transit_count = 20;
+  params.stub_count = 120;
+  params.seed = 7;
+  const auto generated = topology::generate_internet(params);
+  const auto& topo = generated.graph;
+
+  std::vector<NodeId> origins;
+  for (NodeId u = 0; u < std::min<std::size_t>(topo.node_count(), 40); ++u) {
+    origins.push_back(u);
+  }
+  ThreadPool pool(8);
+  const auto batch = routecomp::gr_sweep_batch(topo, origins, &pool);
+  ASSERT_EQ(batch.size(), origins.size());
+  for (std::size_t i = 0; i < origins.size(); ++i) {
+    const auto solo = routecomp::gr_sweep(topo, origins[i]);
+    EXPECT_EQ(batch[i].origins, solo.origins) << "origin " << origins[i];
+    EXPECT_EQ(batch[i].cls, solo.cls) << "origin " << origins[i];
+    EXPECT_EQ(batch[i].dist, solo.dist) << "origin " << origins[i];
+  }
+}
+
+TEST(ExecSmoke, SolveBatchMatchesSequential) {
+  const auto topo = F1::topology();
+  const auto net = routecomp::LabeledNetwork::from_topology(topo);
+  GrPathAlgebra alg;
+  std::vector<routecomp::Origination> origins;
+  for (NodeId u = 0; u < topo.node_count(); ++u) origins.push_back({u, kCust});
+
+  ThreadPool pool(8);
+  const auto batch = routecomp::solve_batch(alg, net, origins, nullptr, 1000,
+                                            &pool);
+  ASSERT_EQ(batch.size(), origins.size());
+  for (std::size_t i = 0; i < origins.size(); ++i) {
+    const auto solo =
+        routecomp::solve(alg, net, origins[i].origin, origins[i].attr);
+    EXPECT_EQ(batch[i].attr, solo.attr) << "origin " << origins[i].origin;
+    EXPECT_EQ(batch[i].converged, solo.converged);
+    EXPECT_EQ(batch[i].rounds, solo.rounds);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel == sequential: chaos schedule sweep (32 schedules)
+// ---------------------------------------------------------------------------
+
+std::string outcome_digest(const chaos::ScheduleOutcome& out) {
+  std::string d;
+  d += std::to_string(out.seed) + "|";
+  d += std::to_string(out.skipped) + std::to_string(out.quiescent) +
+       std::to_string(out.invariants_ok) + std::to_string(out.oracle_ok) + "|";
+  d += std::to_string(out.first_action) + "," +
+       std::to_string(out.last_action) + "," + std::to_string(out.end_time) +
+       "|";
+  d += std::to_string(out.stats.announcements) + "," +
+       std::to_string(out.stats.withdrawals) + "," +
+       std::to_string(out.stats.deaggregations) + "," +
+       std::to_string(out.msgs_lost) + "|";
+  d += out.plan_json + "|" + out.metrics.to_json();
+  return d;
+}
+
+TEST(ExecSmoke, ChaosSweepMatchesSequentialAcrossThreadCounts) {
+  const auto topo = F2::topology();
+  GrPathAlgebra alg;
+  chaos::SweepSpec spec;
+  spec.topo = &topo;
+  spec.alg = &alg;
+  spec.config.mrai = 0.5;
+  spec.config.link_delay = 0.01;
+  spec.config.enable_dragon = true;
+  spec.config.l_attr = [](algebra::Attr a) {
+    return static_cast<std::uint32_t>(GrPathAlgebra::class_of(a));
+  };
+  spec.config.faults.loss = 0.1;
+  spec.config.faults.duplicate = 0.05;
+  spec.config.faults.delay_prob = 0.2;
+  spec.origins = {{bp("1"), F2::origin_q, kCust},
+                  {bp("10"), F2::origin_p, kCust}};
+  spec.params.events = 4;
+  spec.params.horizon = 20.0;
+  spec.params.restore_prob = 0.6;
+  spec.params.origin_flap_prob = 0.25;
+  spec.invariants.max_sources = 64;
+
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 32; ++i) seeds.push_back(7000 + i);
+
+  const auto sequential = chaos::run_schedule_sweep(spec, seeds, nullptr);
+  ASSERT_EQ(sequential.size(), seeds.size());
+  std::size_t ran = 0;
+  for (const auto& out : sequential) {
+    EXPECT_TRUE(out.ok()) << "seed=" << out.seed << "\n"
+                          << out.diagnostics << out.plan_json;
+    if (!out.skipped) ++ran;
+  }
+  EXPECT_GT(ran, 0u);
+
+  for (const std::size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    const auto parallel = chaos::run_schedule_sweep(spec, seeds, &pool);
+    ASSERT_EQ(parallel.size(), sequential.size()) << threads << " threads";
+    for (std::size_t i = 0; i < sequential.size(); ++i) {
+      EXPECT_EQ(outcome_digest(parallel[i]), outcome_digest(sequential[i]))
+          << "schedule " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dragon::exec

@@ -150,6 +150,48 @@ TEST(Flags, UndeclaredLookupThrows) {
   EXPECT_THROW((void)flags.str("nope"), std::out_of_range);
 }
 
+TEST(Flags, IntFlagAcceptsValuesInRange) {
+  util::Flags flags;
+  flags.define_int("threads", 4, "workers", 1, 4096);
+  flags.define_int("offset", 0, "signed", -10, 10);
+  const char* argv[] = {"prog", "--threads=8", "--offset", "-3"};
+  ASSERT_TRUE(flags.parse(4, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.i64("threads"), 8);
+  EXPECT_EQ(flags.u64("threads"), 8u);
+  EXPECT_EQ(flags.i64("offset"), -3);
+}
+
+TEST(Flags, IntFlagRejectsOutOfRangeValues) {
+  // `--threads 0` and negatives must be hard parse errors, not silent
+  // clamps (the bench scheduler relies on this validation).
+  for (const char* bad : {"--threads=0", "--threads=-2", "--threads=5000"}) {
+    util::Flags flags;
+    flags.define_int("threads", 4, "workers", 1, 4096);
+    const char* argv[] = {"prog", bad};
+    EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv))) << bad;
+  }
+}
+
+TEST(Flags, IntFlagRejectsMalformedValues) {
+  for (const char* bad :
+       {"--threads=abc", "--threads=4x", "--threads=", "--threads=1e3",
+        "--threads=99999999999999999999"}) {
+    util::Flags flags;
+    flags.define_int("threads", 4, "workers", 1, 4096);
+    const char* argv[] = {"prog", bad};
+    EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv))) << bad;
+  }
+}
+
+TEST(Flags, NegativeIntFlagThrowsOnUnsignedLookup) {
+  util::Flags flags;
+  flags.define_int("only-tree", -1, "debug index", -1, 1000);
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.i64("only-tree"), -1);
+  EXPECT_THROW((void)flags.u64("only-tree"), std::out_of_range);
+}
+
 // ---------------------------------------------------------------------------
 // Logging
 // ---------------------------------------------------------------------------
