@@ -13,6 +13,13 @@
 // Any violation prints the schedule seed and the full plan JSON (enough
 // to replay the failure exactly) plus the event-trace tail, and exits
 // non-zero — this harness doubles as a long-running fuzzer.
+//
+// `--crash` additionally enables the peering-session layer: schedules mix
+// in node crash/restart events (hold-timer detection, RFC 4724 graceful
+// restart with stale retention, End-of-RIB re-sync), forwarding-walk
+// probes audit the retention window, and a session-lifecycle summary is
+// printed after the sweep.  Timer knobs take duration values
+// (`--hold-time 10s`, `--restart-window 30s`).
 #include <cstdio>
 #include <set>
 #include <string>
@@ -52,6 +59,13 @@ engine::Config make_config(const util::Flags& flags, std::uint64_t seed) {
   config.faults.loss = flags.f64("msg-loss");
   config.faults.duplicate = flags.f64("msg-dup");
   config.faults.delay_prob = flags.f64("msg-delay-prob");
+  if (flags.boolean("crash")) {
+    config.session.enabled = true;
+    config.session.graceful_restart = flags.boolean("graceful-restart");
+    config.session.hold_time = flags.seconds("hold-time");
+    config.session.keepalive = flags.seconds("keepalive");
+    config.session.restart_window = flags.seconds("restart-window");
+  }
   config.l_attr = [](algebra::Attr a) {
     return static_cast<std::uint32_t>(GrPathAlgebra::class_of(a));
   };
@@ -86,7 +100,7 @@ int main(int argc, char** argv) {
                    1 << 24);
   flags.define("bursts", "1,2,4", "correlated-burst sizes to sweep");
   flags.define_int("events", 5, "fault events per schedule", 1, 1 << 20);
-  flags.define("horizon", "120", "fault window length (sim seconds)");
+  flags.define_duration("horizon", 120.0, "fault window length", 1.0, 86400.0);
   flags.define_int("prefixes", 12, "originations sampled from the assignment",
                    1, 1 << 20);
   flags.define("mrai", "5", "MRAI (sim seconds; small keeps recovery sharp)");
@@ -96,6 +110,18 @@ int main(int argc, char** argv) {
   flags.define("msg-loss", "0", "P(update dropped and retransmitted)");
   flags.define("msg-dup", "0", "P(update delivered twice)");
   flags.define("msg-delay-prob", "0", "P(update gets extra one-way delay)");
+  flags.define("crash", "false",
+               "enable the peering-session layer and node crash/restart "
+               "events in the fault schedules");
+  flags.define("crash-prob", "0.3", "P(event crashes a node; needs --crash)");
+  flags.define("graceful-restart", "true",
+               "RFC 4724-style stale-route retention on peer crash");
+  flags.define_duration("hold-time", 10.0, "session hold timer", 0.001, 3600.0);
+  flags.define_duration("keepalive", 3.0, "session keepalive interval", 0.001,
+                        3600.0);
+  flags.define_duration("restart-window", 30.0,
+                        "graceful-restart stale retention window", 0.001,
+                        86400.0);
   flags.define_int("invariant-sources", 96,
                    "forwarding-walk source nodes sampled per audit", 1,
                    1 << 24);
@@ -162,6 +188,7 @@ int main(int argc, char** argv) {
 
   GrPathAlgebra alg;
   util::Rng trial_master(scenario.trial_seed);
+  std::uint64_t gr_probes_total = 0;
 
   struct BurstRow {
     std::size_t burst = 0;
@@ -180,11 +207,15 @@ int main(int argc, char** argv) {
   spec.alg = &alg;
   spec.config = make_config(flags, /*seed=*/0);  // overridden per schedule
   spec.origins = origins;
-  spec.params.horizon = flags.f64("horizon");
+  spec.params.horizon = flags.seconds("horizon");
   spec.params.events = flags.u64("events");
   spec.params.restore_prob = flags.f64("restore-prob");
   spec.params.node_fault_prob = flags.f64("node-fault-prob");
   spec.params.origin_flap_prob = flags.f64("origin-flap-prob");
+  if (flags.boolean("crash")) {
+    spec.params.crash_prob = flags.f64("crash-prob");
+    spec.probe_gr_windows = flags.boolean("graceful-restart");
+  }
   spec.invariants.max_sources = flags.u64("invariant-sources");
   spec.oracle.strict_attrs = flags.boolean("strict");
 
@@ -222,6 +253,7 @@ int main(int argc, char** argv) {
         tracer.flush();
         return 1;
       }
+      gr_probes_total += out.gr_probes_run;
       row.recovery_first.push_back(out.end_time - out.first_action);
       row.recovery_last.push_back(out.end_time - out.last_action);
       row.updates.push_back(static_cast<double>(out.stats.updates()));
@@ -253,6 +285,45 @@ int main(int argc, char** argv) {
          std::to_string(row.deaggregations), std::to_string(row.msgs_lost)});
   }
   table.print();
+
+  if (flags.boolean("crash")) {
+    // Session-lifecycle summary, aggregated over every schedule: how many
+    // sessions the sweep tore and rebuilt, what graceful restart retained,
+    // and how long re-sync took (the restart-window histogram).
+    const auto counter = [&agg](const char* name) -> std::uint64_t {
+      const auto* c = agg.find_counter(name);
+      return c != nullptr ? c->value() : 0;
+    };
+    std::printf(
+        "# sessions: crashed=%llu restarted=%llu torn=%llu established=%llu "
+        "hold_expiries=%llu\n",
+        static_cast<unsigned long long>(counter("dragon.session.node_crashes")),
+        static_cast<unsigned long long>(
+            counter("dragon.session.node_restarts")),
+        static_cast<unsigned long long>(counter("dragon.session.torn_down")),
+        static_cast<unsigned long long>(counter("dragon.session.established")),
+        static_cast<unsigned long long>(
+            counter("dragon.session.hold_expiries")));
+    std::printf(
+        "# stale routes: retained=%llu swept=%llu window_expired=%llu; "
+        "eor sent=%llu recv=%llu; gr probes run=%llu\n",
+        static_cast<unsigned long long>(
+            counter("dragon.session.stale_retained")),
+        static_cast<unsigned long long>(counter("dragon.session.stale_swept")),
+        static_cast<unsigned long long>(
+            counter("dragon.session.stale_expired")),
+        static_cast<unsigned long long>(counter("dragon.session.eor_sent")),
+        static_cast<unsigned long long>(counter("dragon.session.eor_received")),
+        static_cast<unsigned long long>(gr_probes_total));
+    if (const auto* h = agg.find_histogram("dragon.session.resync_ms");
+        h != nullptr && h->count() > 0) {
+      std::printf(
+          "# re-sync window: p50=%.0fms p90=%.0fms max=%llums (%llu samples)\n",
+          h->quantile(0.5), h->quantile(0.9),
+          static_cast<unsigned long long>(h->max()),
+          static_cast<unsigned long long>(h->count()));
+    }
+  }
 
   tracer.flush();
   if (!flags.str("metrics-json").empty()) {

@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
   flags.define_int("prefixes", 12, "originations sampled from the assignment",
                    1, 1 << 20);
   flags.define_int("burst", 2, "correlated-burst size", 1, 1 << 20);
-  flags.define("horizon", "120", "fault window length (sim seconds)");
+  flags.define_duration("horizon", 120.0, "fault window length", 1.0, 86400.0);
   flags.define("mrai", "5", "MRAI (sim seconds)");
   if (!flags.parse(argc, argv)) return 1;
   flags.print_config("bench_scaling");
@@ -136,7 +136,7 @@ int main(int argc, char** argv) {
     return static_cast<std::uint32_t>(GrPathAlgebra::class_of(a));
   };
   spec.origins = origins;
-  spec.params.horizon = flags.f64("horizon");
+  spec.params.horizon = flags.seconds("horizon");
   spec.params.events = flags.u64("events");
   spec.params.burst = flags.u64("burst");
 

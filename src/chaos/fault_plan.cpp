@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <set>
 
@@ -18,6 +20,8 @@ const char* to_string(FaultKind kind) noexcept {
     case FaultKind::kLinkRestore: return "link_restore";
     case FaultKind::kOriginWithdraw: return "origin_withdraw";
     case FaultKind::kOriginAnnounce: return "origin_announce";
+    case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kNodeRestart: return "node_restart";
   }
   return "unknown";
 }
@@ -30,6 +34,10 @@ std::string FaultAction::to_json() const {
   out += buf;
   if (kind == FaultKind::kLinkFail || kind == FaultKind::kLinkRestore) {
     std::snprintf(buf, sizeof(buf), ",\"a\":%u,\"b\":%u", a, b);
+    out += buf;
+  } else if (kind == FaultKind::kNodeCrash ||
+             kind == FaultKind::kNodeRestart) {
+    std::snprintf(buf, sizeof(buf), ",\"node\":%u", a);
     out += buf;
   } else {
     std::snprintf(buf, sizeof(buf), ",\"origin\":%u,\"attr\":%u", origin, attr);
@@ -44,6 +52,165 @@ std::string FaultAction::to_json() const {
 
 double FaultPlan::last_time() const {
   return actions.empty() ? 0.0 : actions.back().t;
+}
+
+namespace {
+
+// Minimal cursor-based parser for exactly the JSON this file emits
+// (object keys in emission order, insignificant whitespace tolerated).
+// Every helper returns false on mismatch and leaves the caller to abort:
+// a half-parsed plan must never replay.
+struct JsonCursor {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < s.size() &&
+           (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+            s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool lit(char c) {
+    skip_ws();
+    if (pos >= s.size() || s[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos < s.size() && s[pos] == c;
+  }
+  /// Matches `"key":` (the exact quoted key followed by a colon).
+  bool key(std::string_view k) {
+    skip_ws();
+    if (s.size() - pos < k.size() + 3) return false;
+    if (s[pos] != '"' || s.substr(pos + 1, k.size()) != k ||
+        s[pos + 1 + k.size()] != '"') {
+      return false;
+    }
+    pos += k.size() + 2;
+    return lit(':');
+  }
+  bool number_u64(std::uint64_t& out) {
+    skip_ws();
+    const std::size_t begin = pos;
+    std::uint64_t v = 0;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+      v = v * 10 + static_cast<std::uint64_t>(s[pos] - '0');
+      ++pos;
+    }
+    if (pos == begin) return false;
+    out = v;
+    return true;
+  }
+  bool number_u32(std::uint32_t& out) {
+    std::uint64_t v = 0;
+    if (!number_u64(v) || v > 0xFFFFFFFFull) return false;
+    out = static_cast<std::uint32_t>(v);
+    return true;
+  }
+  bool number_double(double& out) {
+    skip_ws();
+    // %.9g emits an optional sign, digits, optional fraction and exponent;
+    // delimit the token manually (string_view is not NUL-terminated).
+    const std::size_t begin = pos;
+    while (pos < s.size() &&
+           (s[pos] == '-' || s[pos] == '+' || s[pos] == '.' ||
+            s[pos] == 'e' || s[pos] == 'E' ||
+            (s[pos] >= '0' && s[pos] <= '9'))) {
+      ++pos;
+    }
+    if (pos == begin) return false;
+    char buf[64];
+    const std::size_t len = pos - begin;
+    if (len >= sizeof(buf)) return false;
+    std::memcpy(buf, s.data() + begin, len);
+    buf[len] = '\0';
+    char* end = nullptr;
+    out = std::strtod(buf, &end);
+    return end == buf + len;
+  }
+  bool string(std::string& out) {
+    if (!lit('"')) return false;
+    const std::size_t begin = pos;
+    while (pos < s.size() && s[pos] != '"') ++pos;
+    if (pos >= s.size()) return false;
+    out.assign(s.substr(begin, pos - begin));
+    ++pos;
+    return true;
+  }
+};
+
+bool kind_from_string(std::string_view name, FaultKind& out) {
+  for (const FaultKind k :
+       {FaultKind::kLinkFail, FaultKind::kLinkRestore,
+        FaultKind::kOriginWithdraw, FaultKind::kOriginAnnounce,
+        FaultKind::kNodeCrash, FaultKind::kNodeRestart}) {
+    if (name == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_action(JsonCursor& c, FaultAction& act) {
+  std::string kind_name;
+  if (!c.lit('{') || !c.key("t") || !c.number_double(act.t) || !c.lit(',') ||
+      !c.key("kind") || !c.string(kind_name) ||
+      !kind_from_string(kind_name, act.kind)) {
+    return false;
+  }
+  switch (act.kind) {
+    case FaultKind::kLinkFail:
+    case FaultKind::kLinkRestore:
+      if (!c.lit(',') || !c.key("a") || !c.number_u32(act.a) || !c.lit(',') ||
+          !c.key("b") || !c.number_u32(act.b)) {
+        return false;
+      }
+      break;
+    case FaultKind::kNodeCrash:
+    case FaultKind::kNodeRestart:
+      if (!c.lit(',') || !c.key("node") || !c.number_u32(act.a)) return false;
+      break;
+    case FaultKind::kOriginWithdraw:
+    case FaultKind::kOriginAnnounce: {
+      std::string bits;
+      if (!c.lit(',') || !c.key("origin") || !c.number_u32(act.origin) ||
+          !c.lit(',') || !c.key("attr") || !c.number_u32(act.attr) ||
+          !c.lit(',') || !c.key("prefix") || !c.string(bits)) {
+        return false;
+      }
+      const auto p = Prefix::from_bit_string(bits);
+      if (!p) return false;
+      act.prefix = *p;
+      break;
+    }
+  }
+  return c.lit('}');
+}
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::from_json(std::string_view json) {
+  JsonCursor c{json};
+  FaultPlan plan;
+  if (!c.lit('{') || !c.key("seed") || !c.number_u64(plan.seed) ||
+      !c.lit(',') || !c.key("actions") || !c.lit('[')) {
+    return std::nullopt;
+  }
+  if (!c.peek(']')) {
+    do {
+      FaultAction act;
+      if (!parse_action(c, act)) return std::nullopt;
+      plan.actions.push_back(act);
+    } while (c.lit(','));
+  }
+  if (!c.lit(']') || !c.lit('}')) return std::nullopt;
+  c.skip_ws();
+  if (c.pos != json.size()) return std::nullopt;  // trailing garbage
+  return plan;
 }
 
 std::string FaultPlan::to_json() const {
@@ -66,6 +233,18 @@ std::vector<std::pair<NodeId, NodeId>> FaultPlan::net_failed_links() const {
       down.insert(key);
     } else if (act.kind == FaultKind::kLinkRestore) {
       down.erase(key);
+    }
+  }
+  return {down.begin(), down.end()};
+}
+
+std::vector<topology::NodeId> FaultPlan::net_down_nodes() const {
+  std::set<NodeId> down;
+  for (const FaultAction& act : actions) {
+    if (act.kind == FaultKind::kNodeCrash) {
+      down.insert(act.a);
+    } else if (act.kind == FaultKind::kNodeRestart) {
+      down.erase(act.a);
     }
   }
   return {down.begin(), down.end()};
@@ -114,6 +293,18 @@ FaultPlan generate_plan(const topology::Topology& topo,
       if (restore) {
         plan.actions.push_back({restore_at, FaultKind::kOriginAnnounce, 0, 0,
                                 o.prefix, o.origin, o.attr});
+      }
+      continue;
+    }
+
+    if (params.crash_prob > 0.0 && rng.chance(params.crash_prob)) {
+      // Control-plane crash (session layer): volatile state loss at one
+      // node, recovered through session re-establishment on restart.
+      const NodeId u = static_cast<NodeId>(rng.below(topo.node_count()));
+      plan.actions.push_back({t, FaultKind::kNodeCrash, u, 0, {}, 0, 0});
+      if (restore) {
+        plan.actions.push_back(
+            {restore_at, FaultKind::kNodeRestart, u, 0, {}, 0, 0});
       }
       continue;
     }
@@ -173,6 +364,12 @@ void schedule_plan(engine::Simulator& sim, const FaultPlan& plan) {
       case FaultKind::kOriginAnnounce:
         sim.inject(act.t, [&sim, p = act.prefix, o = act.origin,
                            attr = act.attr] { sim.originate(p, o, attr); });
+        break;
+      case FaultKind::kNodeCrash:
+        sim.inject(act.t, [&sim, n = act.a] { sim.crash_node(n); });
+        break;
+      case FaultKind::kNodeRestart:
+        sim.inject(act.t, [&sim, n = act.a] { sim.restart_node(n); });
         break;
     }
   }

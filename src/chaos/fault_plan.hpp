@@ -1,18 +1,23 @@
 // Seeded fault schedules for the chaos-testing subsystem.
 //
 // A FaultPlan is a time-ordered list of fault actions — link failures and
-// restorations, whole-node outages (every incident link at once), and
-// origin flaps (withdraw + re-announce of an assigned prefix) — generated
-// as a pure function of a 64-bit seed.  Plans are data: they serialise to
-// JSON for bug reports, replay exactly via schedule_plan(), and expose
-// their *net* effect (links failed at the end, originations surviving at
-// the end) so the differential oracle can build the equivalent fault-free
-// reference network.  Message-level faults (loss, duplication, reorder)
-// are orthogonal and live in engine::MessageFaults.
+// restorations, whole-node outages (every incident link at once), node
+// crash/restart events (volatile state loss + session-driven re-sync,
+// engine/session.cpp), and origin flaps (withdraw + re-announce of an
+// assigned prefix) — generated as a pure function of a 64-bit seed.
+// Plans are data: they serialise to JSON for bug reports, parse back via
+// from_json (so a violation report replays from the printed plan alone),
+// replay exactly via schedule_plan(), and expose their *net* effect
+// (links failed at the end, nodes down at the end, originations surviving
+// at the end) so the differential oracle can build the equivalent
+// fault-free reference network.  Message-level faults (loss, duplication,
+// reorder) are orthogonal and live in engine::MessageFaults.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -28,6 +33,8 @@ enum class FaultKind : std::uint8_t {
   kLinkRestore,
   kOriginWithdraw,
   kOriginAnnounce,
+  kNodeCrash,    // Simulator::crash_node (requires session layer enabled)
+  kNodeRestart,  // Simulator::restart_node
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind) noexcept;
@@ -35,7 +42,8 @@ enum class FaultKind : std::uint8_t {
 struct FaultAction {
   double t = 0.0;
   FaultKind kind = FaultKind::kLinkFail;
-  /// Link endpoints (link actions only).
+  /// Link endpoints (link actions); `a` doubles as the node id for
+  /// crash/restart actions (serialised as "node").
   topology::NodeId a = 0;
   topology::NodeId b = 0;
   /// Origination being flapped (origin actions only).
@@ -66,11 +74,22 @@ struct FaultPlan {
   /// the report alone.
   [[nodiscard]] std::string to_json() const;
 
+  /// Parses a plan back out of to_json()'s output (tolerating
+  /// insignificant whitespace).  Returns nullopt on any malformed input —
+  /// a replay tool must fail loudly rather than run a half-parsed plan.
+  [[nodiscard]] static std::optional<FaultPlan> from_json(
+      std::string_view json);
+
   /// Links still failed after the last action, as undirected (min, max)
   /// pairs (replays the schedule; overlapping fail/restore pairs resolve
   /// exactly as the idempotent simulator operations do).
   [[nodiscard]] std::vector<std::pair<topology::NodeId, topology::NodeId>>
   net_failed_links() const;
+
+  /// Nodes still crashed after the last action, ascending (replays the
+  /// schedule with the simulator's idempotency: double crashes and
+  /// restarts of up nodes are no-ops).
+  [[nodiscard]] std::vector<topology::NodeId> net_down_nodes() const;
 
   /// The subset of `initial` still announced after the last action, in
   /// the original order (flapped-and-restored origins survive).
@@ -99,6 +118,12 @@ struct PlanParams {
   /// Probability that a failure event downs a whole node: every incident
   /// link fails in one burst (and restores in one burst, if restored).
   double node_fault_prob = 0.0;
+  /// Probability that a failure event crashes a node's control plane
+  /// instead (kNodeCrash; restarted with probability restore_prob within
+  /// restore_delay).  Requires the session layer — schedule_plan's crash
+  /// actions are warned no-ops without it.  Zero draws no randomness, so
+  /// pre-existing plans for the same seed are unchanged.
+  double crash_prob = 0.0;
 };
 
 /// Generates a plan as a pure function of (topo, origins, params, seed):

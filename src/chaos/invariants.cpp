@@ -72,6 +72,7 @@ struct Checker {
   void check_coherence();
   void check_cr();
   void check_ra();
+  void check_session();
 };
 
 void Checker::check_forwarding() {
@@ -159,6 +160,10 @@ void Checker::check_coherence() {
           add("coherence", u, p,
               "rib_in candidate survives failed link to " +
                   std::to_string(v));
+        } else if (!sim.node_up(v)) {
+          add("coherence", u, p,
+              "rib_in candidate survives from crashed node " +
+                  std::to_string(v));
         }
         if (best == kUnreachable || alg.prefer(cand, best)) best = cand;
       }
@@ -216,6 +221,10 @@ void Checker::check_ra() {
   if (!sim.config().enable_dragon) return;
   for (const auto& rec : sim.origin_records()) {
     if (full()) break;
+    // A crashed origin's record is configuration that survives, but its
+    // volatile entries (including the root's) are legitimately gone; RA is
+    // re-audited once the node restarts and re-announces.
+    if (!sim.node_up(rec.origin)) continue;
     ++report.checks_run;
     const Rib& node = rib[rec.origin];
     Attr worst = rec.attr;
@@ -315,6 +324,57 @@ void Checker::check_ra() {
   }
 }
 
+void Checker::check_session() {
+  if (!sim.config().session.enabled) return;
+  const auto& topo = sim.topology_used();
+  std::set<std::pair<NodeId, NodeId>> down_links;
+  for (const auto& l : sim.failed_links()) down_links.insert(l);
+  double stale_total = 0.0;
+  for (NodeId u = 0; u < rib.size() && !full(); ++u) {
+    for (const auto& nb : topo.neighbors(u)) {
+      const NodeId v = nb.id;
+      ++report.checks_run;
+      // Deterministic sweep guarantee: no stale-retained route may outlive
+      // quiescence — every retention cycle ends in an EoR or window sweep.
+      const std::size_t stale = sim.stale_route_count(u, v);
+      stale_total += static_cast<double>(stale);
+      if (stale > 0) {
+        add("session", u, {},
+            std::to_string(stale) + " stale route(s) from " +
+                std::to_string(v) + " survive quiescence");
+      }
+      // Liveness: an alive link between up nodes has no reason to remain
+      // un-established once every timer has drained.
+      if (sim.node_up(u) && sim.node_up(v) &&
+          !down_links.contains(std::minmax(u, v))) {
+        const engine::SessionState st = sim.session_state(u, v);
+        if (st != engine::SessionState::kEstablished) {
+          add("session", u, {},
+              std::string("session towards ") + std::to_string(v) +
+                  " is " + engine::to_string(st) +
+                  " at quiescence on an alive link between up nodes");
+        }
+      }
+    }
+    if (!sim.node_up(u) && !rib[u].empty()) {
+      add("session", u, {},
+          "crashed node retains " + std::to_string(rib[u].size()) +
+              " route entrie(s) at quiescence");
+    }
+    if (sim.restart_deferred(u)) {
+      add("session", u, {},
+          "restart advertisement deferral still outstanding at quiescence");
+    }
+  }
+  const obs::Gauge* g_stale =
+      sim.metrics().find_gauge("dragon.session.stale_routes");
+  if (g_stale != nullptr && g_stale->value() != stale_total) {
+    add("session", 0, {},
+        "stale_routes gauge " + std::to_string(g_stale->value()) +
+            " != recounted " + std::to_string(stale_total));
+  }
+}
+
 }  // namespace
 
 InvariantReport check_invariants(const engine::Simulator& sim,
@@ -326,6 +386,7 @@ InvariantReport check_invariants(const engine::Simulator& sim,
   if (opts.coherence && !ck.full()) ck.check_coherence();
   if (opts.cr_audit && !ck.full()) ck.check_cr();
   if (opts.ra_audit && !ck.full()) ck.check_ra();
+  if (opts.session_audit && !ck.full()) ck.check_session();
   if (opts.forwarding && !ck.full()) ck.check_forwarding();
   return std::move(ck.report);
 }

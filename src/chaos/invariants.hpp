@@ -23,7 +23,14 @@
 //                   delegated/violating more-specific forces it (§3.8),
 //                   fragments matching deaggregate_excluding, and the
 //                   announced attribute equal to the worst elected
-//                   more-specific otherwise (§3.9 downgrade fixpoint).
+//                   more-specific otherwise (§3.9 downgrade fixpoint);
+//   * session_audit: (session layer enabled) every alive link between up
+//                   nodes carries an established session both ways, no
+//                   stale-retained routes survive quiescence (and the
+//                   stale gauge reads zero), no restart deferral is left
+//                   outstanding, no RIB-In candidate survives from a
+//                   crashed neighbour, and a crashed node's volatile
+//                   state is empty.
 //
 // The checkers are read-only and meaningful only at quiescence (transient
 // states legitimately violate them while messages are in flight).
@@ -40,7 +47,8 @@
 namespace dragon::chaos {
 
 struct Violation {
-  /// Which checker fired: "loop", "black_hole", "coherence", "cr", "ra".
+  /// Which checker fired: "loop", "black_hole", "coherence", "cr", "ra",
+  /// "session".
   std::string check;
   topology::NodeId node = 0;
   prefix::Prefix prefix;
@@ -54,6 +62,8 @@ struct InvariantOptions {
   bool coherence = true;
   bool cr_audit = true;
   bool ra_audit = true;
+  /// No-op unless the simulator's session layer is enabled.
+  bool session_audit = true;
   /// Forwarding walks sample at most this many source nodes (stride
   /// sampling over the id space keeps the choice deterministic).
   std::size_t max_sources = static_cast<std::size_t>(-1);

@@ -102,6 +102,11 @@ OracleResult differential_check(
     return result;
   }
   for (const auto& [a, b] : chaotic.failed_links()) ref.fail_link(a, b);
+  // Nodes still crashed at the cut are crashed in the reference too: the
+  // converge below drains their peers' hold/sweep timers, so the quiescent
+  // reference is "peers detected the silence and (GR) swept the stale
+  // routes" — exactly what any chaotic crash history must also reach.
+  for (const NodeId n : chaotic.down_nodes()) ref.crash_node(n);
 
   const WatchdogResult run = run_to_quiescence(ref, opts.limits);
   result.reference_quiescent = run.quiescent;

@@ -40,6 +40,12 @@ struct ScheduleOutcome {
   bool quiescent = false;
   bool invariants_ok = false;
   bool oracle_ok = false;
+  /// Graceful-restart window probes (SweepSpec::probe_gr_windows): true
+  /// unless a mid-window forwarding walk found a loop or black hole.
+  bool gr_probes_ok = true;
+  /// Number of in-window probe walks that actually fired (probes self-gate
+  /// on the crash being the sole active perturbation).
+  std::size_t gr_probes_run = 0;
   /// Timestamps of the first/last fault action and of quiescence.
   double first_action = 0.0;
   double last_action = 0.0;
@@ -56,7 +62,8 @@ struct ScheduleOutcome {
   std::string diagnostics;
 
   [[nodiscard]] bool ok() const {
-    return skipped || (quiescent && invariants_ok && oracle_ok);
+    return skipped ||
+           (quiescent && invariants_ok && oracle_ok && gr_probes_ok);
   }
 };
 
@@ -75,6 +82,16 @@ struct SweepSpec {
   OracleOptions oracle;
   bool check_invariants = true;
   bool check_oracle = true;
+  /// For every kNodeCrash action (session layer + graceful restart on),
+  /// inject forwarding-walk probes just after the peers' hold timers fire
+  /// and at mid restart-window: RFC 4724 retention promises traffic keeps
+  /// flowing through the frozen node, so an in-window loop or black hole
+  /// fails the schedule.  Probes self-gate at fire time on the crash being
+  /// the only active perturbation (no failed links, no other node down) —
+  /// overlapping faults legitimately create transient holes.
+  bool probe_gr_windows = false;
+  /// Source nodes sampled per probe walk (stride over the id space).
+  std::size_t probe_sources = 8;
 };
 
 /// Runs one full schedule: bring-up, plan replay, re-convergence, audits.

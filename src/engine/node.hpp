@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "algebra/algebra.hpp"
+#include "engine/session.hpp"
 #include "prefix/prefix.hpp"
 #include "prefix/prefix_trie.hpp"
 #include "topology/graph.hpp"
@@ -63,6 +64,29 @@ struct NeighborIo {
   double mrai_ready = 0.0;
   /// A flush event is already scheduled at mrai_ready.
   bool flush_scheduled = false;
+
+  // --- Peering-session state (engine/session.hpp; only meaningful when
+  // --- Config::session.enabled) -------------------------------------------
+  /// This side's view of the session towards the neighbour.  Kept here so
+  /// it snapshots/restores with the node state; the timer-cancellation
+  /// epochs live in the Simulator (they must survive a crashed node's
+  /// state being wiped, or a stale timer could collide with a fresh
+  /// session's epoch).
+  SessionState sess = SessionState::kEstablished;
+  /// Graceful restart: prefixes whose rib_in candidate from this
+  /// neighbour is retained as stale, pending refresh or sweep.
+  std::set<prefix::Prefix> stale;
+  /// When the open stale-retention cycle began (0 = no open cycle); the
+  /// restart-window histogram observes now() - stale_since at resolution.
+  double stale_since = 0.0;
+  /// Bumped whenever a retention cycle closes, so an outstanding
+  /// window-expiry sweep timer from an older cycle dies on the guard.
+  std::uint64_t stale_gen = 0;
+  /// Send an End-of-RIB marker after the next flushed refresh batch.
+  bool eor_pending = false;
+  /// A keepalive-loss probe episode is in flight on this channel (at most
+  /// one pending hold-expiry draw per channel).
+  bool probing = false;
 };
 
 struct NodeState {

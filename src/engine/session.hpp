@@ -1,0 +1,76 @@
+// Peering-session lifecycle types for the protocol engine.
+//
+// The seed engine modelled adjacencies as always-on pipes: a link either
+// exists or is failed, and route state is flushed only by an explicit
+// fail_link().  That hides the failure mode DRAGON's correctness story
+// depends on — routes being withdrawn when connectivity is *silently*
+// lost — and makes crash/recovery scenarios unexpressible.  This header
+// defines the per-adjacency session machinery the Simulator drives
+// (engine/session.cpp):
+//
+//   * a per-direction session state machine (kEstablished / kStaleHold /
+//     kDown) stored in NeighborIo, so it snapshots and restores with the
+//     rest of the node state;
+//   * keepalive/hold semantics: sustained update loss on a channel can
+//     expire the peer's hold timer, tearing the session down and flushing
+//     everything learned over it (which re-fires DRAGON's code-CR and
+//     rule-RA checks via the usual reelect path);
+//   * node crash/restart: a crashed node loses its volatile RIB and
+//     rebuilds it through session re-establishment;
+//   * RFC 4724-style graceful restart: the surviving peer keeps the
+//     crashed neighbour's routes as *stale* (still forwarding) for a
+//     bounded restart window, the restarting node defers its own
+//     advertisements until it has received End-of-RIB from every peer,
+//     and stale paths are swept deterministically — on the peer's
+//     End-of-RIB or at window expiry, whichever comes first.
+//
+// Keepalives are modelled analytically rather than as periodic events:
+// a perpetual keepalive timer would keep the event queue non-empty and
+// destroy the engine's quiescence-based convergence detection.  Instead,
+// an observed update loss on a channel opens a "probe episode" that draws
+// the fate of the next hold window's keepalives from the fault RNG in one
+// step; only an all-lost episode schedules a (single) hold-expiry event.
+// See DESIGN.md §9 for the state machine and the graceful-restart
+// timeline.
+#pragma once
+
+#include <cstdint>
+
+namespace dragon::engine {
+
+/// Per-direction session state, held in NeighborIo.  The default is
+/// kEstablished: sessions over alive links start up, matching the seed
+/// engine's always-on behaviour when the session layer is disabled.
+enum class SessionState : std::uint8_t {
+  kEstablished,  ///< updates flow; the channel is usable
+  kStaleHold,    ///< peer presumed crashed; routes retained as stale (GR)
+  kDown,         ///< no session; nothing sent, deliveries dropped
+};
+
+[[nodiscard]] const char* to_string(SessionState state) noexcept;
+
+/// Session-layer knobs, gated behind `enabled` so a default-constructed
+/// Config reproduces the seed engine bit-for-bit (no extra events, no
+/// extra RNG draws).  All times are sim seconds.
+struct SessionConfig {
+  bool enabled = false;
+  /// Hold time: a peer that hears nothing for this long declares the
+  /// session dead (RFC 4271 suggests 90 s = 3 keepalives).
+  double hold_time = 90.0;
+  /// Keepalive interval; hold_time / keepalive is the number of chances
+  /// a silent channel gets before the hold timer fires.
+  double keepalive = 30.0;
+  /// RFC 4724 graceful restart: peers of a crashed node retain its routes
+  /// as stale and keep forwarding through the restart window; off, a
+  /// crash flushes like a link failure (and the crashed node's forwarding
+  /// plane dies with its control plane).
+  bool graceful_restart = true;
+  /// How long stale routes are retained waiting for the restarting peer's
+  /// End-of-RIB before being swept (RFC 4724's Restart Time).
+  double restart_window = 120.0;
+  /// Idle-hold delay before a torn-down session (loss-induced teardown,
+  /// both endpoints still up) attempts to re-establish.
+  double reestablish_delay = 5.0;
+};
+
+}  // namespace dragon::engine

@@ -21,6 +21,10 @@ constexpr const char* kNodeClassNames[3] = {"stub", "transit", "tier1"};
 struct Simulator::Snapshot {
   std::vector<NodeState> nodes;
   std::unordered_set<std::uint64_t> failed;
+  std::set<topology::NodeId> down;
+  std::vector<std::uint64_t> node_gen;
+  std::vector<std::unordered_map<topology::NodeId, std::uint64_t>> sess_epoch;
+  std::map<topology::NodeId, std::set<topology::NodeId>> eor_wait;
   std::vector<OriginationRecord> originations;
   std::vector<std::pair<Prefix, Attr>> agg_watch;
   obs::MetricsRegistry::Snapshot metrics;
@@ -39,6 +43,8 @@ Simulator::Simulator(const topology::Topology& topo,
       msg_rng_(rng_.fork()),
       nodes_(topo.node_count()),
       labels_(topo.node_count()),
+      node_gen_(topo.node_count(), 0),
+      sess_epoch_(topo.node_count()),
       node_class_(topo.node_count()) {
   std::uint32_t link_counter = 1;
   for (NodeId u = 0; u < topo.node_count(); ++u) {
@@ -71,10 +77,22 @@ Simulator::Simulator(const topology::Topology& topo,
   c_downgrade_ = metrics_.counter("dragon.dragon.downgrades");
   c_agg_orig_ = metrics_.counter("dragon.dragon.agg_originations");
   c_ra_violation_ = metrics_.counter("dragon.dragon.ra_violations");
+  c_sess_est_ = metrics_.counter("dragon.session.established");
+  c_sess_torn_ = metrics_.counter("dragon.session.torn_down");
+  c_hold_expire_ = metrics_.counter("dragon.session.hold_expiries");
+  c_node_crash_ = metrics_.counter("dragon.session.node_crashes");
+  c_node_restart_ = metrics_.counter("dragon.session.node_restarts");
+  c_stale_retained_ = metrics_.counter("dragon.session.stale_retained");
+  c_stale_swept_ = metrics_.counter("dragon.session.stale_swept");
+  c_stale_expired_ = metrics_.counter("dragon.session.stale_expired");
+  c_eor_sent_ = metrics_.counter("dragon.session.eor_sent");
+  c_eor_recv_ = metrics_.counter("dragon.session.eor_received");
   g_fib_ = metrics_.gauge("dragon.engine.fib_entries");
   g_filtered_ = metrics_.gauge("dragon.dragon.filtered_entries");
+  g_stale_ = metrics_.gauge("dragon.session.stale_routes");
   h_update_depth_ = metrics_.histogram("dragon.engine.update_prefix_depth");
   h_queue_depth_ = metrics_.histogram("dragon.engine.queue_depth");
+  h_resync_ = metrics_.histogram("dragon.session.resync_ms");
 }
 
 Stats Simulator::stats() const {
@@ -108,7 +126,12 @@ std::uint32_t Simulator::project(Attr a) const {
 }
 
 void Simulator::originate(const Prefix& p, NodeId origin, Attr attr) {
-  RouteEntry& entry = nodes_[origin].route(p);
+  // A chaos origin-flap can land on a node that is currently crashed: the
+  // registry assignment changes, but there is no control plane to act on
+  // it.  Mutate only the configuration records — no RIB writes, no
+  // re-election, nothing on the wire — and let restart_node() replay the
+  // records through this function when the node returns.
+  const bool offline = config_.session.enabled && !node_up(origin);
   // Re-announcing an origination that is already on record (overlapping
   // chaos flaps) refreshes the assignment in place; a duplicate record
   // would double-count delegations in every later rule-RA check.
@@ -116,6 +139,8 @@ void Simulator::originate(const Prefix& p, NodeId origin, Attr attr) {
     if (rec.root == p && rec.origin == origin) {
       rec.attr = attr;
       rec.effective_attr = attr;
+      if (offline) return;
+      RouteEntry& entry = nodes_[origin].route(p);
       entry.originated = true;
       entry.origin_attr = attr;
       entry.origin_paused = rec.deaggregated;
@@ -123,9 +148,12 @@ void Simulator::originate(const Prefix& p, NodeId origin, Attr attr) {
       return;
     }
   }
-  entry.originated = true;
-  entry.origin_attr = attr;
-  entry.origin_paused = false;
+  if (!offline) {
+    RouteEntry& entry = nodes_[origin].route(p);
+    entry.originated = true;
+    entry.origin_attr = attr;
+    entry.origin_paused = false;
+  }
   OriginationRecord rec{p, origin, attr, false, {}, attr, {}};
   // Cross-link delegations: a registry origination inside another AS's
   // block is a delegation of that block (and vice versa).
@@ -144,25 +172,36 @@ void Simulator::originate(const Prefix& p, NodeId origin, Attr attr) {
   if (config_.enable_dragon && config_.enable_reaggregation) {
     agg_watch_.emplace_back(p, attr);
   }
-  reelect_and_react(origin, p);
+  if (!offline) reelect_and_react(origin, p);
   // Rule RA is otherwise event-driven at the ancestor origins, and this
   // origination may never produce an event there: a prefix re-delegated
   // to an origin the ancestor cannot reach (it keeps a stale unreachable
   // entry for p) announces into a black hole unless the ancestor
   // de-aggregates NOW.  Origins that never heard of p have no entry and
   // are left alone — the check re-fires when the announcement arrives.
+  // A crashed ancestor has no control plane to react with either; its
+  // restart_ra_recheck() pass re-judges the record when it returns.
   if (config_.enable_dragon) {
     for (const std::size_t i : gained_delegation) {
-      dragon_check_ra(originations_[i]);
+      OriginationRecord& ancestor = originations_[i];
+      if (config_.session.enabled && !node_up(ancestor.origin)) continue;
+      dragon_check_ra(ancestor);
     }
   }
 }
 
 void Simulator::withdraw_origin(const Prefix& p, NodeId origin) {
-  RouteEntry& entry = nodes_[origin].route(p);
-  entry.originated = false;
-  entry.origin_attr = kUnreachable;
-  entry.origin_paused = false;
+  // Mirror of originate()'s down-node handling: withdrawing at a crashed
+  // node edits the configuration only.  The record must go now (or a
+  // later restart would resurrect a returned prefix); the RIB of the
+  // crashed node is dead or frozen and stays untouched.
+  const bool offline = config_.session.enabled && !node_up(origin);
+  if (!offline) {
+    RouteEntry& entry = nodes_[origin].route(p);
+    entry.originated = false;
+    entry.origin_attr = kUnreachable;
+    entry.origin_paused = false;
+  }
   // If rule RA had de-aggregated this block, the fragments belong to the
   // origination and must be withdrawn with it; leaving them originated
   // would announce pieces of a prefix that was returned to the registry.
@@ -197,6 +236,8 @@ void Simulator::withdraw_origin(const Prefix& p, NodeId origin) {
                   [&](const std::pair<Prefix, Attr>& w) { return w.first == p; });
   if (!still_watched) {
     for (NodeId u = 0; u < nodes_.size(); ++u) {
+      // A crashed node's plane is dead or frozen; restart wipes it anyway.
+      if (config_.session.enabled && !node_up(u)) continue;
       const RouteEntry* re = nodes_[u].find(p);
       if (re == nullptr || !re->originated || !re->origin_reagg) continue;
       RouteEntry& e = nodes_[u].route(p);
@@ -207,22 +248,27 @@ void Simulator::withdraw_origin(const Prefix& p, NodeId origin) {
       reelect_and_react(u, p);
     }
   }
-  for (const Prefix& f : fragments) {
-    RouteEntry& fe = nodes_[origin].route(f);
-    if (!fe.originated) continue;
-    fe.originated = false;
-    fe.origin_attr = kUnreachable;
-    fe.origin_paused = false;
-    reelect_and_react(origin, f);
+  if (!offline) {
+    for (const Prefix& f : fragments) {
+      RouteEntry& fe = nodes_[origin].route(f);
+      if (!fe.originated) continue;
+      fe.originated = false;
+      fe.origin_attr = kUnreachable;
+      fe.origin_paused = false;
+      reelect_and_react(origin, f);
+    }
+    reelect_and_react(origin, p);
   }
-  reelect_and_react(origin, p);
   // Mirror of the recheck in originate(): an ancestor that de-aggregated
   // around p may never see another event for it (e.g. p's origin is
   // unreachable), yet with the delegation gone rule RA may be satisfied
-  // again and the ancestor must re-aggregate.
+  // again and the ancestor must re-aggregate.  Crashed ancestors are
+  // re-judged by restart_ra_recheck() instead.
   if (config_.enable_dragon) {
     for (const std::size_t i : lost_delegation) {
-      dragon_check_ra(originations_[i]);
+      OriginationRecord& ancestor = originations_[i];
+      if (config_.session.enabled && !node_up(ancestor.origin)) continue;
+      dragon_check_ra(ancestor);
     }
   }
 }
@@ -247,6 +293,24 @@ void Simulator::fail_link(NodeId a, NodeId b) {
   if (!failed_.insert(link_key(a, b)).second) return;
   DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kLinkFail, a,
                      static_cast<std::int64_t>(b));
+  if (config_.session.enabled) {
+    // The transport under the session died: every pending session timer on
+    // the channel dies on the epoch bump, stale retention ends (the link,
+    // not the peer, is gone — RFC 4724 retention does not survive a link
+    // flap), and neither side may keep waiting on the other's End-of-RIB.
+    abort_restart_wait(a, b);
+    for (NodeId u : {a, b}) {
+      const NodeId v = (u == a) ? b : a;
+      bump_sess_epoch(u, v);
+      auto io = nodes_[u].io.find(v);
+      if (io != nodes_[u].io.end()) {
+        io->second.sess = SessionState::kDown;
+        io->second.probing = false;
+        io->second.eor_pending = false;
+      }
+      drop_stale(u, v);
+    }
+  }
   // Session reset: both sides drop what they learned from and advertised to
   // the other.
   for (NodeId u : {a, b}) {
@@ -274,6 +338,14 @@ void Simulator::restore_link(NodeId a, NodeId b) {
   if (failed_.erase(link_key(a, b)) == 0) return;
   DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kLinkRestore, a,
                      static_cast<std::int64_t>(b));
+  if (config_.session.enabled) {
+    // The session layer owns re-establishment: an immediate bilateral
+    // bring-up with route-refresh + End-of-RIB semantics.  A down endpoint
+    // means no session yet — restart_node() establishes it when the node
+    // comes back (and finds the link alive).
+    if (node_up(a) && node_up(b)) establish_session(a, b);
+    return;
+  }
   // Session re-establishment: full table re-advertisement both ways.
   for (NodeId u : {a, b}) {
     const NodeId v = (u == a) ? b : a;
@@ -474,6 +546,10 @@ std::shared_ptr<const Simulator::Snapshot> Simulator::snapshot() const {
   auto snap = std::make_shared<Snapshot>();
   snap->nodes = nodes_;
   snap->failed = failed_;
+  snap->down = down_;
+  snap->node_gen = node_gen_;
+  snap->sess_epoch = sess_epoch_;
+  snap->eor_wait = eor_wait_;
   snap->originations = originations_;
   snap->agg_watch = agg_watch_;
   snap->metrics = metrics_.snapshot_state();
@@ -494,6 +570,14 @@ void Simulator::restore(const Snapshot& snap) {
   }
   nodes_ = snap.nodes;
   failed_ = snap.failed;
+  down_ = snap.down;
+  // The epoch vectors restore as captured: the empty-queue precondition
+  // above guarantees no session/crash timer survives into the restored
+  // trial, so a replay rebuilds exactly the captured timer landscape (see
+  // the regression tests in tests/test_session.cpp).
+  node_gen_ = snap.node_gen;
+  sess_epoch_ = snap.sess_epoch;
+  eor_wait_ = snap.eor_wait;
   originations_ = snap.originations;
   agg_watch_ = snap.agg_watch;
   metrics_.restore_state(snap.metrics);
@@ -508,7 +592,13 @@ void Simulator::restore(const Snapshot& snap) {
 
 void Simulator::deliver(NodeId to, NodeId from, const Prefix& p,
                         std::optional<Attr> wire, std::uint64_t seq) {
-  if (!link_alive(to, from)) return;  // failed while in flight
+  if (config_.session.enabled) {
+    // The TCP session under the message died with the channel: anything in
+    // flight to/from a crashed node or across a torn-down session is lost.
+    if (!channel_up(to, from)) return;
+  } else if (!link_alive(to, from)) {
+    return;  // failed while in flight
+  }
   // Sequence guard: per-(neighbour, prefix) newest-wins.  A reordered
   // older message (chaos extra delay, or in flight across a fast
   // fail/restore cycle) must not clobber a newer update.  Duplicates
@@ -521,6 +611,12 @@ void Simulator::deliver(NodeId to, NodeId from, const Prefix& p,
     return;
   }
   rx = seq;
+  if (config_.session.enabled) {
+    // Graceful restart: a refreshed prefix is no longer stale (RFC 4724's
+    // "replace stale route on update").  The remainder is swept at EoR.
+    NeighborIo& sio = nodes_[to].io[from];
+    if (!sio.stale.empty() && sio.stale.erase(p) > 0) g_stale_->add(-1.0);
+  }
   DRAGON_TRACE_EVENT(tracer_, queue_.now(),
                      wire ? obs::EventKind::kRecvAnnounce
                           : obs::EventKind::kRecvWithdraw,
@@ -586,13 +682,22 @@ void Simulator::sync_entry_obs([[maybe_unused]] NodeId u,
 
 void Simulator::mark_pending(NodeId u, const Prefix& p) {
   for (const auto& nb : topo_.neighbors(u)) {
-    if (!link_alive(u, nb.id)) continue;
+    if (config_.session.enabled ? !channel_up(u, nb.id)
+                                : !link_alive(u, nb.id)) {
+      continue;
+    }
     nodes_[u].io[nb.id].pending.insert(p);
     try_flush(u, nb.id);
   }
 }
 
 void Simulator::try_flush(NodeId u, NodeId v) {
+  // Gated on session.enabled so the disabled path keeps the seed engine's
+  // exact behaviour (including draining pending on a failed link below).
+  if (config_.session.enabled &&
+      (!channel_up(u, v) || restart_deferred(u))) {
+    return;  // teardown cleanup / finish_restart re-queues as appropriate
+  }
   NeighborIo& io = nodes_[u].io[v];
   if (io.pending.empty()) return;
   if (queue_.now() >= io.mrai_ready) {
@@ -610,6 +715,10 @@ void Simulator::try_flush(NodeId u, NodeId v) {
 
 void Simulator::flush_now(NodeId u, NodeId v) {
   DRAGON_PROF_SCOPE("engine.flush");
+  if (config_.session.enabled &&
+      (!channel_up(u, v) || restart_deferred(u))) {
+    return;  // the channel moved under a scheduled MRAI flush
+  }
   NodeState& node = nodes_[u];
   NeighborIo& io = node.io[v];
   bool sent_any = false;
@@ -651,6 +760,13 @@ void Simulator::flush_now(NodeId u, NodeId v) {
                        static_cast<std::int64_t>(v));
     const double jitter = config_.mrai_jitter * rng_.uniform();
     io.mrai_ready = queue_.now() + config_.mrai * (1.0 - jitter);
+  }
+  if (config_.session.enabled && io.eor_pending) {
+    // The refresh batch is fully on the wire (losses retransmit and are
+    // resent before the peer's sweep: EoR rides a later flush only if the
+    // batch sent nothing).  Close it with the End-of-RIB marker.
+    io.eor_pending = false;
+    send_eor(u, v);
   }
 }
 
@@ -700,8 +816,13 @@ void Simulator::drop_and_retry(NodeId u, NodeId v, const Prefix& p) {
   c_msg_lost_->inc();
   DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kMsgLost, u,
                      static_cast<std::int64_t>(v), p, 0u);
+  // An observed loss is the session layer's signal that keepalives share
+  // the channel's fate: maybe this hold window eats them all.
+  session_on_loss(u, v);
   queue_.schedule(queue_.now() + config_.faults.retransmit, [this, u, v, p] {
-    if (!link_alive(u, v)) return;  // session reset resynced the peer
+    if (config_.session.enabled ? !channel_up(u, v) : !link_alive(u, v)) {
+      return;  // session reset resynced the peer
+    }
     nodes_[u].io[v].pending.insert(p);
     try_flush(u, v);
   });

@@ -31,9 +31,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include <map>
+#include <set>
+
 #include "algebra/algebra.hpp"
 #include "engine/event_queue.hpp"
 #include "engine/node.hpp"
+#include "engine/session.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
@@ -75,6 +79,10 @@ struct Config {
   double link_delay_jitter = 0.5;
   /// Chaos-testing message faults (all zero: no faults, no RNG draws).
   MessageFaults faults;
+  /// Peering-session lifecycle (hold timers, crash/restart, graceful
+  /// restart).  Disabled by default: the seed engine's always-on
+  /// adjacencies, bit-identical event and RNG sequences.
+  SessionConfig session;
   bool enable_dragon = false;
   /// §3.8 self-organising (re-)origination of watched aggregation roots.
   bool enable_reaggregation = true;
@@ -137,6 +145,37 @@ class Simulator {
   /// failure, and a bogus pair must never open a phantom session.
   void fail_link(NodeId a, NodeId b);
   void restore_link(NodeId a, NodeId b);
+
+  // --- Peering sessions & crash recovery (engine/session.cpp) --------------
+
+  /// Crashes node n: its volatile RIB/FIB state is lost and every peer
+  /// detects the silence when its hold timer expires.  With graceful
+  /// restart the crashed node's forwarding plane stays frozen (and peers
+  /// retain its routes as stale) for the restart window; without it the
+  /// node's state is cleared immediately and peers flush on detection.
+  /// Requires Config::session.enabled; invalid or already-down nodes are
+  /// warned no-ops (chaos schedules may legitimately double-crash).
+  void crash_node(NodeId n);
+  /// Restarts a crashed node: state rebuilds through session
+  /// re-establishment.  With graceful restart the node defers its own
+  /// advertisements until End-of-RIB arrives from every peer (RFC 4724),
+  /// then floods its table; peers sweep whatever stale routes the refresh
+  /// did not cover when the node's own End-of-RIB arrives.
+  void restart_node(NodeId n);
+
+  [[nodiscard]] bool node_up(NodeId n) const { return !down_.contains(n); }
+  /// Currently crashed nodes, ascending (oracle input, like failed_links).
+  [[nodiscard]] std::vector<NodeId> down_nodes() const;
+  /// u's view of its session towards v.  kDown when the link is failed,
+  /// absent, or u itself is down; defaults to kEstablished otherwise (the
+  /// state invariant checkers audit this against liveness at quiescence).
+  [[nodiscard]] SessionState session_state(NodeId u, NodeId v) const;
+  /// Stale-retained prefixes u holds from v (graceful restart).
+  [[nodiscard]] std::size_t stale_route_count(NodeId u, NodeId v) const;
+  /// n restarted and is still deferring advertisements (awaiting EoRs).
+  [[nodiscard]] bool restart_deferred(NodeId n) const {
+    return eor_wait_.contains(n);
+  }
 
   /// Drains the event queue (or stops at max_time).  Returns the number of
   /// events processed.
@@ -306,6 +345,64 @@ class Simulator {
   void flush_now(NodeId u, NodeId v);
   void send(NodeId from, NodeId to, const Prefix& p, std::optional<Attr> wire);
 
+  // Session lifecycle (engine/session.cpp).
+  /// Can protocol messages flow on (a, b)?  Link alive, both endpoints up,
+  /// and (sessions enabled) both directions established.  Reduces to
+  /// link_alive when the session layer is disabled.
+  [[nodiscard]] bool channel_up(NodeId a, NodeId b) const;
+  /// u's raw session state towards v (lazy io entries read as the default
+  /// kEstablished), without the liveness semantics of session_state().
+  [[nodiscard]] SessionState peek_sess(NodeId u, NodeId v) const;
+  /// Timer-cancellation epoch of the directed channel u->v: every session
+  /// transition bumps it, and every session timer captures it at schedule
+  /// time and no-ops on mismatch.  Stored outside NodeState so wiping a
+  /// crashed node cannot recycle epoch values under a still-queued timer.
+  [[nodiscard]] std::uint64_t sess_epoch(NodeId u, NodeId v) const;
+  std::uint64_t bump_sess_epoch(NodeId u, NodeId v);
+  /// Brings the (u, v) session up in both directions with route-refresh
+  /// semantics: each side retains what it learned from the other as stale
+  /// (GR; flushed outright without GR), queues a full-table refresh, and
+  /// follows the batch with an End-of-RIB marker.
+  void establish_session(NodeId u, NodeId v);
+  /// Queues x's full table towards y followed by End-of-RIB (deferred
+  /// while x is in its post-restart advertisement deferral).
+  void session_refresh(NodeId x, NodeId y);
+  /// Bilateral loss-induced teardown: both sides flush what they learned
+  /// from the other; re-establishment is scheduled after the idle hold.
+  void teardown_session(NodeId u, NodeId v);
+  /// drop_and_retry's hook: an observed update loss opens a probe episode
+  /// that draws the next hold window's keepalive fates in one step.
+  void session_on_loss(NodeId u, NodeId v);
+  /// v's hold timer for (crashed) peer n expired: retain stale (GR) or
+  /// flush (no GR).
+  void session_hold_expired(NodeId v, NodeId n);
+  /// Marks everything v learned from n as stale (opens a retention cycle).
+  void retain_stale(NodeId v, NodeId n);
+  /// Closes v's stale-retention cycle for n: remaining stale candidates
+  /// are removed and re-elected.  `expired` distinguishes the window-cap
+  /// sweep from the End-of-RIB sweep in the metrics.
+  void sweep_stale(NodeId v, NodeId n, bool expired);
+  /// Clears the stale set without re-election (the rib_in entries are
+  /// being flushed through another path).
+  void drop_stale(NodeId v, NodeId n);
+  /// Erases every rib_in candidate x learned from y and re-elects.
+  void flush_rib_in_from(NodeId x, NodeId y);
+  void send_eor(NodeId u, NodeId v);
+  void recv_eor(NodeId v, NodeId u);
+  /// Ends n's post-restart deferral: full table + EoR to every peer.
+  void finish_restart(NodeId n);
+  /// Re-judges n's own originations against the re-synced RIB: a
+  /// delegated prefix that vanished from the network while n was down
+  /// produces no event at the rebuilt node, so event-driven rule RA
+  /// would never re-fire.
+  void restart_ra_recheck(NodeId n);
+  /// The (a, b) channel died; neither side may keep waiting on the
+  /// other's EoR (a vanished peer must not wedge the deferral).
+  void abort_restart_wait(NodeId a, NodeId b);
+  /// Wipes n's volatile state (RIB, FIB, io) with gauge-consistent
+  /// accounting.
+  void clear_node_state(NodeId n);
+
   // DRAGON hooks (engine/dragon_hooks.cpp).
   void dragon_react(NodeId u, const Prefix& p);
   void dragon_update_cr(NodeId u, const Prefix& q);
@@ -327,6 +424,16 @@ class Simulator {
   std::vector<NodeState> nodes_;
   std::vector<std::unordered_map<NodeId, algebra::LabelId>> labels_;
   std::unordered_set<std::uint64_t> failed_;
+  /// Crashed nodes (ordered: down_nodes() feeds the oracle and must be
+  /// deterministic).  Always empty while the session layer is disabled.
+  std::set<NodeId> down_;
+  /// Crash/restart generation per node; the graceful-restart forwarding
+  /// freeze-expiry timer captures it so a restart cancels the wipe.
+  std::vector<std::uint64_t> node_gen_;
+  /// Directed-channel session epochs (see sess_epoch()).
+  std::vector<std::unordered_map<NodeId, std::uint64_t>> sess_epoch_;
+  /// Restarting node -> peers whose End-of-RIB is still awaited.
+  std::map<NodeId, std::set<NodeId>> eor_wait_;
   std::vector<OriginationRecord> originations_;
   /// Roots watched for §3.7/§3.8 self-organised origination.
   std::vector<std::pair<Prefix, Attr>> agg_watch_;
@@ -355,10 +462,22 @@ class Simulator {
   obs::Counter* c_downgrade_;
   obs::Counter* c_agg_orig_;
   obs::Counter* c_ra_violation_;
+  obs::Counter* c_sess_est_;
+  obs::Counter* c_sess_torn_;
+  obs::Counter* c_hold_expire_;
+  obs::Counter* c_node_crash_;
+  obs::Counter* c_node_restart_;
+  obs::Counter* c_stale_retained_;
+  obs::Counter* c_stale_swept_;
+  obs::Counter* c_stale_expired_;
+  obs::Counter* c_eor_sent_;
+  obs::Counter* c_eor_recv_;
   obs::Gauge* g_fib_;
   obs::Gauge* g_filtered_;
+  obs::Gauge* g_stale_;
   obs::Histogram* h_update_depth_;
   obs::Histogram* h_queue_depth_;
+  obs::Histogram* h_resync_;
 };
 
 }  // namespace dragon::engine

@@ -27,6 +27,15 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kMsgLost: return "msg_lost";
     case EventKind::kMsgDup: return "msg_dup";
     case EventKind::kMsgStale: return "msg_stale";
+    case EventKind::kNodeCrash: return "node_crash";
+    case EventKind::kNodeRestart: return "node_restart";
+    case EventKind::kSessionUp: return "session_up";
+    case EventKind::kSessionDown: return "session_down";
+    case EventKind::kHoldExpire: return "hold_expire";
+    case EventKind::kStaleRetain: return "stale_retain";
+    case EventKind::kStaleSweep: return "stale_sweep";
+    case EventKind::kEorSend: return "eor_send";
+    case EventKind::kEorRecv: return "eor_recv";
   }
   return "unknown";
 }

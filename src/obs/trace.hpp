@@ -67,6 +67,15 @@ enum class EventKind : std::uint8_t {
   kMsgLost,       // chaos: update dropped on the wire (retransmitted later)
   kMsgDup,        // chaos: update delivered twice
   kMsgStale,      // reordered delivery discarded by the sequence guard
+  kNodeCrash,     // node lost its volatile control-plane state
+  kNodeRestart,   // crashed node came back; re-sync begins
+  kSessionUp,     // peering session (re-)established (peer in `peer`)
+  kSessionDown,   // peering session torn down
+  kHoldExpire,    // hold timer expired (node's view of `peer`)
+  kStaleRetain,   // graceful restart: routes from `peer` marked stale
+  kStaleSweep,    // stale retention cycle closed (EoR or window expiry)
+  kEorSend,       // End-of-RIB marker sent to `peer`
+  kEorRecv,       // End-of-RIB marker received from `peer`
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;

@@ -20,6 +20,46 @@ std::optional<std::int64_t> parse_i64(const std::string& s) {
   return static_cast<std::int64_t>(v);
 }
 
+/// Strict duration parse: a non-negative decimal number immediately
+/// followed by a unit suffix (`ms`, `s`, `m`, `h`) consuming the whole
+/// string.  Returns the value in seconds.  A bare number is rejected on
+/// purpose: "--hold-time 90" is ambiguous in a config that mixes
+/// second- and millisecond-scale knobs.
+std::optional<double> parse_duration_seconds(const std::string& s) {
+  if (s.empty() || s.front() == '-' || s.front() == '+') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  // !(v >= 0) also rejects a parsed NaN, which would otherwise slip
+  // through the range check (NaN comparisons are all false).
+  if (errno == ERANGE || end == s.c_str() || !(v >= 0.0)) return std::nullopt;
+  const std::string_view unit(end, s.c_str() + s.size() - end);
+  if (unit == "ms") return v * 1e-3;
+  if (unit == "s") return v;
+  if (unit == "m") return v * 60.0;
+  if (unit == "h") return v * 3600.0;
+  return std::nullopt;
+}
+
+/// Renders seconds with the largest unit that keeps the number exact-ish
+/// (used for defaults, so `--help` and print_config echo parseable values).
+std::string format_duration(double seconds) {
+  char buf[48];
+  if (seconds >= 3600.0 && seconds == 3600.0 * static_cast<std::int64_t>(seconds / 3600.0)) {
+    std::snprintf(buf, sizeof(buf), "%lldh",
+                  static_cast<long long>(seconds / 3600.0));
+  } else if (seconds >= 60.0 &&
+             seconds == 60.0 * static_cast<std::int64_t>(seconds / 60.0)) {
+    std::snprintf(buf, sizeof(buf), "%lldm",
+                  static_cast<long long>(seconds / 60.0));
+  } else if (seconds < 1.0 && seconds > 0.0) {
+    std::snprintf(buf, sizeof(buf), "%gms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%gs", seconds);
+  }
+  return buf;
+}
+
 }  // namespace
 
 void Flags::define(std::string name, std::string default_value,
@@ -40,6 +80,19 @@ void Flags::define_int(std::string name, std::int64_t default_value,
   e.is_int = true;
   e.min = min;
   e.max = max;
+  entries_.insert_or_assign(std::move(name), std::move(e));
+}
+
+void Flags::define_duration(std::string name, double default_seconds,
+                            std::string help, double min_seconds,
+                            double max_seconds) {
+  Entry e;
+  e.value = format_duration(default_seconds);
+  e.default_value = e.value;
+  e.help = std::move(help);
+  e.is_duration = true;
+  e.min_seconds = min_seconds;
+  e.max_seconds = max_seconds;
   entries_.insert_or_assign(std::move(name), std::move(e));
 }
 
@@ -104,6 +157,19 @@ bool Flags::parse(int argc, char** argv) {
         return false;
       }
     }
+    if (it->second.is_duration) {
+      const auto parsed = parse_duration_seconds(value);
+      if (!parsed || *parsed < it->second.min_seconds ||
+          *parsed > it->second.max_seconds) {
+        std::fprintf(stderr,
+                     "flag --%s: invalid duration '%s' (expected "
+                     "<number><ms|s|m|h> in [%s, %s])\n",
+                     name.c_str(), value.c_str(),
+                     format_duration(it->second.min_seconds).c_str(),
+                     format_duration(it->second.max_seconds).c_str());
+        return false;
+      }
+    }
     it->second.value = value;
   }
   return true;
@@ -143,6 +209,16 @@ std::uint64_t Flags::u64(std::string_view name) const {
 
 double Flags::f64(std::string_view name) const {
   return std::strtod(entry(name).value.c_str(), nullptr);
+}
+
+double Flags::seconds(std::string_view name) const {
+  const Entry& e = entry(name);
+  if (!e.is_duration) {
+    throw std::out_of_range("flag --" + std::string(name) +
+                            " was not declared with define_duration");
+  }
+  // Parse-time validation guarantees this succeeds for duration flags.
+  return *parse_duration_seconds(e.value);
 }
 
 bool Flags::boolean(std::string_view name) const {

@@ -31,6 +31,19 @@ class Flags {
                   std::int64_t min = std::numeric_limits<std::int64_t>::min(),
                   std::int64_t max = std::numeric_limits<std::int64_t>::max());
 
+  /// Declares a duration flag validated at parse time.  Values are a
+  /// non-negative decimal number with a mandatory unit suffix — `ms`, `s`,
+  /// `m`, or `h` (e.g. `--hold-time 90s`, `--restart-window 2m`,
+  /// `--mrai 500ms`) — normalised to seconds and checked against
+  /// [min_seconds, max_seconds]; a bare number, unknown unit, or
+  /// out-of-range value is a hard parse error naming the flag and range.
+  /// `default_seconds` is rendered back with the most natural unit.
+  /// Read the value with seconds().
+  void define_duration(std::string name, double default_seconds,
+                       std::string help, double min_seconds = 0.0,
+                       double max_seconds =
+                           std::numeric_limits<double>::infinity());
+
   /// Parses argv.  Returns false (after printing a message) on `--help` or
   /// on an unknown/malformed flag; the caller should exit.
   [[nodiscard]] bool parse(int argc, char** argv);
@@ -40,6 +53,8 @@ class Flags {
   [[nodiscard]] std::uint64_t u64(std::string_view name) const;
   [[nodiscard]] double f64(std::string_view name) const;
   [[nodiscard]] bool boolean(std::string_view name) const;
+  /// The value of a define_duration flag, in seconds.
+  [[nodiscard]] double seconds(std::string_view name) const;
 
   /// Prints `--name=value` lines for every flag (used to log experiment
   /// configurations into the bench output).
@@ -54,6 +69,11 @@ class Flags {
     bool is_int = false;
     std::int64_t min = 0;
     std::int64_t max = 0;
+    /// Duration flags carry a range in seconds (value strings keep the
+    /// unit suffix; seconds() normalises on read).
+    bool is_duration = false;
+    double min_seconds = 0.0;
+    double max_seconds = 0.0;
   };
   const Entry& entry(std::string_view name) const;
   std::map<std::string, Entry, std::less<>> entries_;

@@ -98,6 +98,109 @@ TEST(FaultPlan, NetEffectsReplayTheSchedule) {
   EXPECT_DOUBLE_EQ(plan.last_time(), 7.0);
 }
 
+TEST(FaultPlan, JsonRoundTripsEveryActionKind) {
+  FaultPlan plan;
+  plan.seed = 424242;
+  plan.actions.push_back({1.25, FaultKind::kLinkFail, 0, 1, {}, 0, 0});
+  plan.actions.push_back({2.5, FaultKind::kLinkRestore, 0, 1, {}, 0, 0});
+  plan.actions.push_back({3.0625, FaultKind::kNodeCrash, 5, 0, {}, 0, 0});
+  plan.actions.push_back({4.75, FaultKind::kNodeRestart, 5, 0, {}, 0, 0});
+  plan.actions.push_back(
+      {5.0, FaultKind::kOriginWithdraw, 0, 0, bp("10"), 7, 3});
+  plan.actions.push_back(
+      {6.5, FaultKind::kOriginAnnounce, 0, 0, bp("10000"), 8, 2});
+
+  const std::string json = plan.to_json();
+  const auto parsed = FaultPlan::from_json(json);
+  ASSERT_TRUE(parsed.has_value()) << json;
+  // Byte-exact round trip: a violation report's plan JSON replays the
+  // original schedule, not an approximation of it.
+  EXPECT_EQ(parsed->to_json(), json);
+  EXPECT_EQ(parsed->seed, plan.seed);
+  ASSERT_EQ(parsed->actions.size(), plan.actions.size());
+  EXPECT_EQ(parsed->actions[2].kind, FaultKind::kNodeCrash);
+  EXPECT_EQ(parsed->actions[2].a, 5u);
+  EXPECT_EQ(parsed->actions[4].prefix, bp("10"));
+  EXPECT_EQ(parsed->actions[4].origin, 7u);
+  EXPECT_EQ(parsed->actions[4].attr, 3u);
+}
+
+TEST(FaultPlan, GeneratedCrashPlansRoundTripAndReplayNetState) {
+  const auto topo = F1::topology();
+  const std::vector<OriginSpec> origins{{bp("10"), F1::origin_p, kCust},
+                                        {bp("10000"), F1::origin_q, kCust}};
+  PlanParams params;
+  params.events = 8;
+  params.crash_prob = 0.6;
+  params.restore_prob = 0.5;
+  params.origin_flap_prob = 0.2;
+  bool saw_crash = false;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const FaultPlan plan = generate_plan(topo, origins, params, seed);
+    const auto parsed = FaultPlan::from_json(plan.to_json());
+    ASSERT_TRUE(parsed.has_value()) << plan.to_json();
+    EXPECT_EQ(parsed->to_json(), plan.to_json());
+    EXPECT_EQ(parsed->net_down_nodes(), plan.net_down_nodes());
+    for (const auto& act : plan.actions) {
+      saw_crash |= act.kind == FaultKind::kNodeCrash;
+    }
+  }
+  EXPECT_TRUE(saw_crash) << "crash_prob=0.6 never drew a crash in 20 plans";
+}
+
+TEST(FaultPlan, ZeroCrashProbLeavesPlansBitIdentical) {
+  // The crash branch must not consume randomness when disabled, or every
+  // pre-existing seeded schedule would silently change.
+  const auto topo = F1::topology();
+  const std::vector<OriginSpec> origins{{bp("10"), F1::origin_p, kCust}};
+  PlanParams with, without;
+  with.events = without.events = 10;
+  with.origin_flap_prob = without.origin_flap_prob = 0.3;
+  with.node_fault_prob = without.node_fault_prob = 0.2;
+  with.crash_prob = 0.0;  // explicit zero == field left at default
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    EXPECT_EQ(generate_plan(topo, origins, with, seed).to_json(),
+              generate_plan(topo, origins, without, seed).to_json());
+  }
+}
+
+TEST(FaultPlan, FromJsonRejectsMalformedInput) {
+  const char* bad[] = {
+      "",
+      "{",
+      "[1,2]",
+      "{\"seed\":1}",
+      "{\"seed\":-1,\"actions\":[]}",
+      "{\"seed\":1,\"actions\":}",
+      "{\"seed\":1,\"actions\":[{\"t\":0}]}",
+      "{\"seed\":1,\"actions\":[{\"t\":0,\"kind\":\"bogus\"}]}",
+      "{\"seed\":1,\"actions\":[{\"t\":0,\"kind\":\"node_crash\"}]}",
+      "{\"seed\":1,\"actions\":[{\"t\":0,\"kind\":\"link_fail\",\"a\":0}]}",
+      "{\"seed\":1,\"actions\":[{\"t\":0,\"kind\":\"origin_withdraw\","
+      "\"origin\":1,\"attr\":2,\"prefix\":\"1x\"}]}",
+      "{\"seed\":1,\"actions\":[]}trailing",
+  };
+  for (const char* s : bad) {
+    EXPECT_FALSE(FaultPlan::from_json(s).has_value()) << s;
+  }
+  // The happy path next to them, as a parser sanity anchor.
+  EXPECT_TRUE(FaultPlan::from_json("{\"seed\":1,\"actions\":[]}").has_value());
+  EXPECT_TRUE(FaultPlan::from_json(" { \"seed\" : 1 , \"actions\" : [ ] } ")
+                  .has_value());
+}
+
+TEST(FaultPlan, NetDownNodesReplaysCrashesAndRestarts) {
+  FaultPlan plan;
+  plan.actions.push_back({1.0, FaultKind::kNodeCrash, 3, 0, {}, 0, 0});
+  plan.actions.push_back({2.0, FaultKind::kNodeCrash, 1, 0, {}, 0, 0});
+  plan.actions.push_back({3.0, FaultKind::kNodeRestart, 3, 0, {}, 0, 0});
+  plan.actions.push_back({4.0, FaultKind::kNodeCrash, 5, 0, {}, 0, 0});
+  const auto down = plan.net_down_nodes();
+  ASSERT_EQ(down.size(), 2u);
+  EXPECT_EQ(down[0], NodeId{1});
+  EXPECT_EQ(down[1], NodeId{5});
+}
+
 // ---------------------------------------------------------------------------
 // Session-reset semantics of fail_link / restore_link
 // ---------------------------------------------------------------------------

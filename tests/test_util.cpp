@@ -192,6 +192,76 @@ TEST(Flags, NegativeIntFlagThrowsOnUnsignedLookup) {
   EXPECT_THROW((void)flags.u64("only-tree"), std::out_of_range);
 }
 
+TEST(Flags, DurationFlagParsesEveryUnitToSeconds) {
+  struct Case {
+    const char* text;
+    double want;
+  };
+  for (const Case c : {Case{"250ms", 0.25}, Case{"1.5s", 1.5},
+                       Case{"90s", 90.0}, Case{"2m", 120.0},
+                       Case{"0.5h", 1800.0}, Case{"1h", 3600.0}}) {
+    util::Flags flags;
+    flags.define_duration("hold-time", 90.0, "session hold timer");
+    const std::string arg = std::string("--hold-time=") + c.text;
+    const char* argv[] = {"prog", arg.c_str()};
+    ASSERT_TRUE(flags.parse(2, const_cast<char**>(argv))) << c.text;
+    EXPECT_DOUBLE_EQ(flags.seconds("hold-time"), c.want) << c.text;
+  }
+}
+
+TEST(Flags, DurationFlagDefaultsRenderWithUnitsAndReadBack) {
+  util::Flags flags;
+  flags.define_duration("horizon", 120.0, "window");
+  flags.define_duration("hold-time", 90.0, "hold");
+  flags.define_duration("blip", 0.25, "sub-second");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, const_cast<char**>(argv)));
+  // Defaults echo in parseable `<number><unit>` form (so print_config
+  // lines can be pasted back) and seconds() normalises them.
+  EXPECT_EQ(flags.str("horizon"), "2m");
+  EXPECT_EQ(flags.str("hold-time"), "90s");
+  EXPECT_EQ(flags.str("blip"), "250ms");
+  EXPECT_DOUBLE_EQ(flags.seconds("horizon"), 120.0);
+  EXPECT_DOUBLE_EQ(flags.seconds("hold-time"), 90.0);
+  EXPECT_DOUBLE_EQ(flags.seconds("blip"), 0.25);
+}
+
+TEST(Flags, DurationFlagRejectsBareNumbersAndGarbage) {
+  // A bare "90" is ambiguous (seconds? milliseconds?) and must be a hard
+  // parse error, as must signs, unknown units, and non-numbers.
+  for (const char* bad :
+       {"--t=90", "--t=90x", "--t=s", "--t=", "--t=-5s", "--t=+5s",
+        "--t=nanms", "--t=infs", "--t=5sec", "--t=1 h", "--t=ms"}) {
+    util::Flags flags;
+    flags.define_duration("t", 1.0, "", 0.001, 3600.0);
+    const char* argv[] = {"prog", bad};
+    EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv))) << bad;
+  }
+}
+
+TEST(Flags, DurationFlagEnforcesRange) {
+  for (const char* bad : {"--t=1ms", "--t=0s", "--t=2h"}) {
+    util::Flags flags;
+    flags.define_duration("t", 1.0, "", 0.01, 3600.0);
+    const char* argv[] = {"prog", bad};
+    EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv))) << bad;
+  }
+  util::Flags flags;
+  flags.define_duration("t", 1.0, "", 0.01, 3600.0);
+  const char* argv[] = {"prog", "--t=10ms"};  // exactly min: accepted
+  ASSERT_TRUE(flags.parse(2, const_cast<char**>(argv)));
+  EXPECT_DOUBLE_EQ(flags.seconds("t"), 0.01);
+}
+
+TEST(Flags, SecondsLookupThrowsOnNonDurationFlag) {
+  util::Flags flags;
+  flags.define("mrai", "5", "plain string flag");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, const_cast<char**>(argv)));
+  EXPECT_THROW((void)flags.seconds("mrai"), std::out_of_range);
+  EXPECT_THROW((void)flags.seconds("undeclared"), std::out_of_range);
+}
+
 // ---------------------------------------------------------------------------
 // Logging
 // ---------------------------------------------------------------------------
