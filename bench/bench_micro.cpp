@@ -1,14 +1,30 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical
-// substrate pieces: prefix trie operations, forest construction, the
-// per-origin GR sweep, the generic solver, ORTC compression, and the event
-// engine's end-to-end convergence.
+// substrate pieces: prefix trie operations, the intern table, the flat
+// RIB (insert/lookup/elect), forest construction, the per-origin GR
+// sweep, the generic solver, ORTC compression, and the event engine's
+// end-to-end convergence.
+//
+// Besides the console table, `--metrics-json=PATH` writes every per-run
+// ns/iter figure into a registry-shaped JSON artifact (BENCH_micro.json
+// at the repo root is the committed baseline; tools/bench_gate.py
+// compares a fresh run against it).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "addressing/assignment.hpp"
 #include "algebra/gr_path_algebra.hpp"
+#include "bench_common.hpp"
 #include "chaos/watchdog.hpp"
+#include "engine/rib.hpp"
 #include "engine/simulator.hpp"
 #include "fibcomp/ortc.hpp"
+#include "prefix/intern.hpp"
 #include "prefix/prefix_forest.hpp"
 #include "prefix/prefix_trie.hpp"
 #include "routecomp/generic_solver.hpp"
@@ -24,10 +40,15 @@ std::vector<prefix::Prefix> random_prefixes(std::size_t count,
                                             std::uint64_t seed) {
   util::Rng rng(seed);
   std::vector<prefix::Prefix> out;
+  prefix::PrefixSet seen;
   out.reserve(count);
   while (out.size() < count) {
     const prefix::Prefix p(static_cast<prefix::Address>(rng()),
                            8 + static_cast<int>(rng.below(17)));
+    // Deduplicate: a repeated draw would make "insert N prefixes" insert
+    // fewer than N distinct keys and skew per-item figures.
+    if (seen.contains(p)) continue;
+    seen.insert(p);
     out.push_back(p);
   }
   return out;
@@ -67,6 +88,111 @@ void BM_TrieLookup(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TrieLookup)->Arg(10000)->Arg(100000);
+
+// Intern-table build: Prefix -> dense id plus the memoized parent link
+// and covering-chain splice (the work the engine's §3.6 parent lookups
+// amortise away).
+void BM_InternTable(benchmark::State& state) {
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), 11);
+  for (auto _ : state) {
+    prefix::PrefixInterner interner;
+    for (const auto& p : prefixes) {
+      benchmark::DoNotOptimize(interner.intern(p));
+    }
+    // Walk every memoized parent chain: in the engine this is the per-
+    // event effective_parent query, here it proves the links are O(1).
+    std::size_t hops = 0;
+    for (prefix::PrefixId id = 0; id < interner.size(); ++id) {
+      for (prefix::PrefixId pp = interner.parent_of(id);
+           pp != prefix::kNoPrefixId; pp = interner.parent_of(pp)) {
+        ++hops;
+      }
+    }
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InternTable)->Arg(1000)->Arg(10000);
+
+// Flat-RIB insert: intern ids once (engine steady state), then populate a
+// FlatTable route table with small per-neighbour candidate sets — the
+// deliver-path write pattern.
+void BM_RibInsert(benchmark::State& state) {
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), 12);
+  prefix::PrefixInterner interner;
+  std::vector<prefix::PrefixId> ids;
+  ids.reserve(prefixes.size());
+  for (const auto& p : prefixes) ids.push_back(interner.intern(p));
+  for (auto _ : state) {
+    engine::FlatTable<engine::RouteEntry> routes;
+    for (const prefix::PrefixId id : ids) {
+      engine::RouteEntry& e = routes.get_or_create(id);
+      e.rib_in.set(static_cast<topology::NodeId>(id & 3u), id);
+      e.rib_in.set(static_cast<topology::NodeId>(4u + (id & 1u)), id + 1);
+    }
+    benchmark::DoNotOptimize(routes.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RibInsert)->Arg(1000)->Arg(10000);
+
+// Flat-RIB lookup: the read side of the deliver/flush paths (find by
+// dense id, then a rib_in probe).
+void BM_RibLookup(benchmark::State& state) {
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), 13);
+  prefix::PrefixInterner interner;
+  engine::FlatTable<engine::RouteEntry> routes;
+  for (const auto& p : prefixes) {
+    const prefix::PrefixId id = interner.intern(p);
+    engine::RouteEntry& e = routes.get_or_create(id);
+    e.rib_in.set(static_cast<topology::NodeId>(id & 7u), id);
+  }
+  util::Rng rng(14);
+  const auto span = static_cast<std::uint64_t>(interner.size() * 2);
+  for (auto _ : state) {
+    const auto id = static_cast<prefix::PrefixId>(rng.below(span));
+    const engine::RouteEntry* e = routes.find(id);
+    benchmark::DoNotOptimize(
+        e != nullptr ? e->rib_in.find(static_cast<topology::NodeId>(id & 7u))
+                     : nullptr);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RibLookup)->Arg(10000)->Arg(100000);
+
+// Route election over the flat rib_in small-vectors (the engine's hottest
+// loop: one pass of Algebra::prefer per candidate).
+void BM_RibElect(benchmark::State& state) {
+  const auto prefixes = random_prefixes(4096, 15);
+  algebra::GrPathAlgebra alg;
+  engine::NodeState node;
+  prefix::PrefixInterner interner;
+  util::Rng rng(16);
+  std::vector<prefix::PrefixId> ids;
+  ids.reserve(prefixes.size());
+  for (const auto& p : prefixes) {
+    const prefix::PrefixId id = interner.intern(p);
+    ids.push_back(id);
+    engine::RouteEntry& e = node.route(id);
+    const int cands = 2 + static_cast<int>(rng.below(4));
+    for (int c = 0; c < cands; ++c) {
+      e.rib_in.set(static_cast<topology::NodeId>(c),
+                   algebra::GrPathAlgebra::make(
+                       static_cast<algebra::GrClass>(rng.below(3)),
+                       static_cast<std::uint16_t>(rng.below(12))));
+    }
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.elect(alg, ids[i]));
+    i = (i + 1) & (ids.size() - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RibElect);
 
 void BM_ForestBuild(benchmark::State& state) {
   auto prefixes = random_prefixes(static_cast<std::size_t>(state.range(0)), 4);
@@ -153,6 +279,57 @@ void BM_EngineConvergence(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineConvergence);
 
+/// Console reporter that additionally records every per-run ns/iter into
+/// a metrics registry, so the run can be dumped in the repo's standard
+/// registry-JSON shape and gated against the committed baseline.
+class RegistryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      if (run.run_type != Run::RT_Iteration) continue;
+      registry_.gauge("micro." + run.benchmark_name() + ".ns_per_iter")
+          ->set(run.GetAdjustedRealTime());
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+  [[nodiscard]] const obs::MetricsRegistry& registry() const {
+    return registry_;
+  }
+
+ private:
+  obs::MetricsRegistry registry_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel our own flag off before google-benchmark sees the command line
+  // (its parser rejects flags it does not know).
+  std::string metrics_json;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view a(argv[i]);
+    constexpr std::string_view kFlag = "--metrics-json=";
+    if (a.rfind(kFlag, 0) == 0) {
+      metrics_json = std::string(a.substr(kFlag.size()));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  RegistryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!metrics_json.empty()) {
+    const bool ok = dragon::bench::write_metrics_json(
+        metrics_json, {{"micro", &reporter.registry()}},
+        dragon::bench::run_meta_json("bench_micro", 0, 1));
+    if (ok) std::printf("# wrote %s\n", metrics_json.c_str());
+  }
+  return 0;
+}

@@ -8,38 +8,45 @@ namespace dragon::engine {
 
 using algebra::Attr;
 using algebra::kUnreachable;
+using prefix::kNoPrefixId;
+using prefix::PrefixId;
 using topology::NodeId;
 using Prefix = prefix::Prefix;
 
-std::optional<Prefix> Simulator::effective_parent(const NodeState& node,
-                                                  const Prefix& q) const {
+PrefixId Simulator::effective_parent(const NodeState& node,
+                                     PrefixId q) const {
   // The parent of q as known locally (§3.6): the most specific
   // less-specific prefix for which the node currently elects a route.
-  std::optional<Prefix> pp = node.known.parent_of(q);
-  while (pp) {
-    const RouteEntry* entry = node.find(*pp);
+  // The interner's memoized covering chain enumerates every interned
+  // strict ancestor in decreasing specificity; filtering it by the node's
+  // route membership yields exactly the seed code's per-node PrefixSet
+  // parent walk, without re-deriving ancestry per event.
+  for (PrefixId pp = interner_.parent_of(q); pp != kNoPrefixId;
+       pp = interner_.parent_of(pp)) {
+    const RouteEntry* entry = node.find(pp);
     if (entry != nullptr && entry->elected != kUnreachable) return pp;
-    pp = node.known.parent_of(*pp);
   }
-  return std::nullopt;
+  return kNoPrefixId;
 }
 
-void Simulator::dragon_react(NodeId u, const Prefix& p) {
+void Simulator::dragon_react(NodeId u, PrefixId p) {
   NodeState& node = nodes_[u];
 
   // Code CR for p itself and for every known prefix underneath it (their
   // local parent may be p); prefix-trees are small, so a subtree sweep is
-  // cheap.
+  // cheap.  The interner forest's pre-order restricted to this node's
+  // members is the seed PrefixSet's visit order.
   dragon_update_cr(u, p);
-  std::vector<Prefix> below;
-  node.known.visit_subtree(p, [&](const Prefix& q) {
-    if (q != p) below.push_back(q);
+  std::vector<PrefixId> below;
+  interner_.visit_subtree(p, [&](PrefixId q) {
+    if (q != p && node.find(q) != nullptr) below.push_back(q);
   });
-  for (const Prefix& q : below) dragon_update_cr(u, q);
+  for (const PrefixId q : below) dragon_update_cr(u, q);
 
   // Rule RA at this node's originations whose root covers p.
+  const Prefix pfx = interner_.prefix_of(p);
   for (auto& rec : originations_) {
-    if (rec.origin == u && rec.root.covers(p)) dragon_check_ra(rec);
+    if (rec.origin == u && rec.root.covers(pfx)) dragon_check_ra(rec);
   }
 
   // Self-organised aggregation originations watching a root that covers p.
@@ -48,19 +55,22 @@ void Simulator::dragon_react(NodeId u, const Prefix& p) {
     // keep iteration independent of callee behaviour.
     const auto watches = agg_watch_;
     for (const auto& [root, attr] : watches) {
-      if (root.covers(p)) dragon_check_reaggregation(u, root, attr);
+      if (root.covers(pfx)) {
+        dragon_check_reaggregation(u, interner_.intern(root), attr);
+      }
     }
   }
 }
 
-void Simulator::dragon_update_cr(NodeId u, const Prefix& q) {
+void Simulator::dragon_update_cr(NodeId u, PrefixId q) {
   NodeState& node = nodes_[u];
   RouteEntry& entry = node.route(q);
   bool filter = false;
   const bool own_active = entry.originated && !entry.origin_paused;
   if (!own_active && entry.elected != kUnreachable) {
-    if (const auto parent = effective_parent(node, q)) {
-      const RouteEntry* pe = node.find(*parent);
+    const PrefixId parent = effective_parent(node, q);
+    if (parent != kNoPrefixId) {
+      const RouteEntry* pe = node.find(parent);
       const bool origin_of_p = pe->originated && !pe->origin_paused;
       if (!origin_of_p) {
         // Filter iff the q-route's L-attribute equals or is less preferred
@@ -74,13 +84,15 @@ void Simulator::dragon_update_cr(NodeId u, const Prefix& q) {
     if (filter) {
       c_filter_->inc();
       g_filtered_->add(1.0);
-      DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kFilter, u, q,
+      DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kFilter, u,
+                         interner_.prefix_of(q),
                          static_cast<std::uint32_t>(entry.elected));
     } else {
       c_unfilter_->inc();
       g_filtered_->add(-1.0);
       DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kUnfilter, u,
-                         q, static_cast<std::uint32_t>(entry.elected));
+                         interner_.prefix_of(q),
+                         static_cast<std::uint32_t>(entry.elected));
     }
     sync_entry_obs(u, q, entry);
     mark_pending(u, q);
@@ -89,8 +101,8 @@ void Simulator::dragon_update_cr(NodeId u, const Prefix& q) {
 
 void Simulator::dragon_check_ra(OriginationRecord& rec) {
   NodeState& node = nodes_[rec.origin];
-  RouteEntry& root_entry = node.route(rec.root);
-  if (!root_entry.originated) return;  // origination withdrawn meanwhile
+  const PrefixId root_id = interner_.intern(rec.root);
+  if (!node.route(root_id).originated) return;  // withdrawn meanwhile
 
   // Rule RA at the origin of a block has a three-way outcome:
   //   * every more-specific is elected at least as preferred as the
@@ -111,14 +123,14 @@ void Simulator::dragon_check_ra(OriginationRecord& rec) {
   Attr worst_attr = rec.attr;
   std::vector<Prefix> reachable;   // more-specifics routed by others
   std::vector<Prefix> violating;   // ... elected worse than the assignment
-  node.known.visit_subtree(rec.root, [&](const Prefix& q) {
-    if (q == rec.root) return;
+  interner_.visit_subtree(root_id, [&](PrefixId q) {
+    if (q == root_id) return;
     const RouteEntry* qe = node.find(q);
     if (qe == nullptr || qe->elected == kUnreachable) return;
     if (qe->originated && !qe->origin_paused) return;  // self-covered
-    reachable.push_back(q);
+    reachable.push_back(interner_.prefix_of(q));
     if (project(qe->elected) > project(rec.attr)) {
-      violating.push_back(q);
+      violating.push_back(interner_.prefix_of(q));
       if (project(qe->elected) > project(worst_attr)) {
         worst_attr = qe->elected;
       }
@@ -126,7 +138,8 @@ void Simulator::dragon_check_ra(OriginationRecord& rec) {
   });
   std::vector<Prefix> lost;
   for (const Prefix& q : rec.delegated) {
-    const RouteEntry* qe = node.find(q);
+    const PrefixId qid = interner_.find(q);
+    const RouteEntry* qe = qid == kNoPrefixId ? nullptr : node.find(qid);
     if (qe != nullptr && qe->elected == kUnreachable) lost.push_back(q);
   }
   if (!violating.empty() || !lost.empty()) {
@@ -168,26 +181,28 @@ void Simulator::dragon_check_ra(OriginationRecord& rec) {
       c_deagg_->inc();
       DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kDeaggregate,
                          rec.origin, rec.root);
-      root_entry.origin_paused = true;
-      reelect_and_react(rec.origin, rec.root);
+      node.route(root_id).origin_paused = true;
+      reelect_and_react(rec.origin, root_id);
     }
     for (const Prefix& f : rec.fragments) {
-      RouteEntry& fe = node.route(f);
+      const PrefixId fid = interner_.intern(f);
+      RouteEntry& fe = node.route(fid);
       if (fe.originated && fe.origin_attr == rec.attr) continue;
       fe.originated = true;
       fe.origin_attr = rec.attr;
       fe.origin_paused = false;
-      reelect_and_react(rec.origin, f);
+      reelect_and_react(rec.origin, fid);
     }
     for (const Prefix& f : old_fragments) {
       if (std::find(rec.fragments.begin(), rec.fragments.end(), f) !=
           rec.fragments.end()) {
         continue;
       }
-      RouteEntry& fe = node.route(f);
+      const PrefixId fid = interner_.intern(f);
+      RouteEntry& fe = node.route(fid);
       fe.originated = false;
       fe.origin_attr = kUnreachable;
-      reelect_and_react(rec.origin, f);
+      reelect_and_react(rec.origin, fid);
     }
     return;
   }
@@ -200,23 +215,27 @@ void Simulator::dragon_check_ra(OriginationRecord& rec) {
     rec.deaggregated = false;
     const auto old_fragments = std::move(rec.fragments);
     rec.fragments.clear();
-    root_entry.origin_paused = false;
+    node.route(root_id).origin_paused = false;
     // Re-elect the root unconditionally: un-pausing alone changes the
     // election input even when the announce attribute below ends up
     // unchanged (the delegated route came back with its original class),
     // and the root must be announced before the fragments are withdrawn
     // (make-before-break).
-    reelect_and_react(rec.origin, rec.root);
+    reelect_and_react(rec.origin, root_id);
     for (const Prefix& f : old_fragments) {
-      RouteEntry& fe = node.route(f);
+      const PrefixId fid = interner_.intern(f);
+      RouteEntry& fe = node.route(fid);
       fe.originated = false;
       fe.origin_attr = kUnreachable;
-      reelect_and_react(rec.origin, f);
+      reelect_and_react(rec.origin, fid);
     }
   }
 
   // Announce with the RA-compliant attribute: possibly a §3.9 downgrade,
-  // or a recovery back to the assigned attribute.
+  // or a recovery back to the assigned attribute.  Fresh reference: the
+  // fragment/reaction paths above may have grown the flat table, and
+  // FlatTable growth moves entries (std::map references were stable).
+  RouteEntry& root_entry = node.route(root_id);
   if (root_entry.origin_attr != worst_attr) {
     if (project(worst_attr) > project(rec.attr) &&
         project(rec.effective_attr) <= project(rec.attr)) {
@@ -227,15 +246,16 @@ void Simulator::dragon_check_ra(OriginationRecord& rec) {
     }
     rec.effective_attr = worst_attr;
     root_entry.origin_attr = worst_attr;
-    reelect_and_react(rec.origin, rec.root);
+    reelect_and_react(rec.origin, root_id);
   }
 }
 
-void Simulator::dragon_check_reaggregation(NodeId u, const Prefix& root,
+void Simulator::dragon_check_reaggregation(NodeId u, PrefixId root,
                                            Attr attr) {
+  const Prefix root_pfx = interner_.prefix_of(root);
   // The assigned origin of the root manages it through rule RA instead.
   for (const auto& rec : originations_) {
-    if (rec.origin == u && rec.root == root) return;
+    if (rec.origin == u && rec.root == root_pfx) return;
   }
   NodeState& node = nodes_[u];
   RouteEntry& entry = node.route(root);
@@ -245,19 +265,19 @@ void Simulator::dragon_check_reaggregation(NodeId u, const Prefix& root,
   // more-specific would break rule RA for the origination, so it vetoes.
   std::vector<Prefix> pieces;
   bool veto = false;
-  node.known.visit_subtree(root, [&](const Prefix& q) {
+  interner_.visit_subtree(root, [&](PrefixId q) {
     if (q == root) return;
     const RouteEntry* qe = node.find(q);
     if (qe == nullptr || qe->elected == kUnreachable) return;
     if (project(qe->elected) <= project(attr)) {
-      pieces.push_back(q);
+      pieces.push_back(interner_.prefix_of(q));
     } else {
       veto = true;
     }
   });
 
   bool should = !veto && !pieces.empty() &&
-                core::deaggregate_excluding(root, pieces).empty();
+                core::deaggregate_excluding(root_pfx, pieces).empty();
   if (should) {
     // Fig. 6 stop rule: an equally-preferred learned route for the root
     // makes the origination redundant.
@@ -272,7 +292,7 @@ void Simulator::dragon_check_reaggregation(NodeId u, const Prefix& root,
 
   if (should && !entry.originated) {
     DRAGON_LOG_DEBUG("t=%.6f node %u ORIGINATE %s (pieces=%zu rib=%zu)",
-                     queue_.now(), u, root.to_bit_string().c_str(),
+                     queue_.now(), u, root_pfx.to_bit_string().c_str(),
                      pieces.size(), entry.rib_in.size());
     entry.originated = true;
     entry.origin_reagg = true;
@@ -280,10 +300,10 @@ void Simulator::dragon_check_reaggregation(NodeId u, const Prefix& root,
     entry.origin_paused = false;
     c_agg_orig_->inc();
     DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kAggOriginate,
-                       u, root, static_cast<std::uint32_t>(attr));
+                       u, root_pfx, static_cast<std::uint32_t>(attr));
     reelect_and_react(u, root);
   } else if (!should && entry.originated && entry.origin_reagg) {
-    const auto missing = core::deaggregate_excluding(root, pieces);
+    const auto missing = core::deaggregate_excluding(root_pfx, pieces);
     bool learned_eq = false;
     for (const auto& [nb, cand] : entry.rib_in) {
       if (project(cand) <= project(attr)) learned_eq = true;
@@ -292,14 +312,14 @@ void Simulator::dragon_check_reaggregation(NodeId u, const Prefix& root,
     DRAGON_LOG_DEBUG(
         "t=%.6f node %u STOP %s (veto=%d pieces=%zu learned_eq=%d "
         "missing0=%s)",
-        queue_.now(), u, root.to_bit_string().c_str(), (int)veto,
+        queue_.now(), u, root_pfx.to_bit_string().c_str(), (int)veto,
         pieces.size(), (int)learned_eq,
         missing.empty() ? "-" : missing.front().to_bit_string().c_str());
     entry.originated = false;
     entry.origin_reagg = false;
     entry.origin_attr = kUnreachable;
     DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kAggStop, u,
-                       root);
+                       root_pfx);
     reelect_and_react(u, root);
   }
 }

@@ -7,33 +7,28 @@ namespace dragon::engine {
 using algebra::Attr;
 using algebra::kUnreachable;
 
-Attr NodeState::elect(const algebra::Algebra& alg, const prefix::Prefix& p) {
+Attr NodeState::elect(const algebra::Algebra& alg, prefix::PrefixId id) {
   DRAGON_PROF_SCOPE("engine.elect");
-  RouteEntry& entry = route(p);
+  RouteEntry& entry = route(id);
   Attr best = kUnreachable;
   if (entry.originated && !entry.origin_paused) best = entry.origin_attr;
   for (const auto& [neighbor, attr] : entry.rib_in) {
+    (void)neighbor;
     if (alg.prefer(attr, best)) best = attr;
   }
   entry.elected = best;
   return best;
 }
 
-const RouteEntry* NodeState::find(const prefix::Prefix& p) const {
-  auto it = routes.find(p);
-  return it == routes.end() ? nullptr : &it->second;
-}
-
-RouteEntry& NodeState::route(const prefix::Prefix& p) {
-  auto [it, fresh] = routes.try_emplace(p);
-  if (fresh) known.insert(p);
-  return it->second;
-}
-
-bool NodeState::fib_active(const prefix::Prefix& p) const {
-  const RouteEntry* entry = find(p);
+bool NodeState::fib_active(prefix::PrefixId id) const {
+  const RouteEntry* entry = find(id);
   return entry != nullptr && entry->elected != kUnreachable &&
          !entry->filtered;
+}
+
+void NodeState::clear() {
+  routes.clear();
+  for (NeighborIo& nio : io) nio = NeighborIo{};
 }
 
 }  // namespace dragon::engine

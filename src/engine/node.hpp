@@ -1,29 +1,31 @@
 // Per-node protocol state for the event-driven engine.
 //
-// Each node keeps, per prefix, the candidate attribute learned from every
-// neighbour (Adj-RIB-In, already import-processed), the elected attribute,
-// origination state, and the DRAGON filtering flag.  Per neighbour it keeps
-// the Adj-RIB-Out (last advertised attribute) and the MRAI pacing state.
-// Election logic lives here; messaging and timers live in the Simulator.
+// Each node keeps, per prefix (keyed by the simulation interner's dense
+// PrefixId, see prefix/intern.hpp), the candidate attribute learned from
+// every neighbour (Adj-RIB-In, already import-processed), the elected
+// attribute, origination state, and the DRAGON filtering flag.  Per
+// neighbour it keeps the Adj-RIB-Out (last advertised attribute) and the
+// MRAI pacing state.  All of it lives in the flat PrefixId-keyed tables of
+// engine/rib.hpp — node state deep-copies (snapshot/restore) are vector
+// copies, not tree clones.  Election logic lives here; messaging and
+// timers live in the Simulator.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <optional>
-#include <set>
-#include <unordered_map>
+#include <vector>
 
 #include "algebra/algebra.hpp"
+#include "engine/rib.hpp"
 #include "engine/session.hpp"
-#include "prefix/prefix.hpp"
-#include "prefix/prefix_trie.hpp"
+#include "prefix/intern.hpp"
 #include "topology/graph.hpp"
 
 namespace dragon::engine {
 
 struct RouteEntry {
-  /// Candidate attribute per neighbour (import policy already applied).
-  std::map<topology::NodeId, algebra::Attr> rib_in;
+  /// Candidate attribute per neighbour (import policy already applied),
+  /// sorted by neighbour id.
+  RibIn rib_in;
   algebra::Attr elected = algebra::kUnreachable;
   /// DRAGON code CR decision: elected but not installed/announced.
   bool filtered = false;
@@ -48,18 +50,18 @@ struct RouteEntry {
 };
 
 struct NeighborIo {
-  /// Adj-RIB-Out: what we last advertised, per prefix (absent = withdrawn
-  /// or never announced).
-  std::map<prefix::Prefix, algebra::Attr> sent;
+  /// Adj-RIB-Out: what we last advertised, per prefix id (absent =
+  /// withdrawn or never announced).
+  PrefixIdMap<algebra::Attr> sent;
   /// Prefixes with a (re)advertisement or withdrawal waiting for MRAI.
-  std::set<prefix::Prefix> pending;
+  PrefixIdSet pending;
   /// Highest message sequence number delivered from this neighbour, per
   /// prefix.  Messages carry a global monotone sequence; a delivery older
   /// than the newest one seen for the same (neighbour, prefix) is stale
   /// and discarded.  This models TCP's in-order sessions: per-prefix
   /// updates never apply out of order, even when chaos-injected extra
   /// jitter or a fast fail/restore cycle reorders wire messages.
-  std::map<prefix::Prefix, std::uint64_t> rx_seq;
+  PrefixIdMap<std::uint64_t> rx_seq;
   /// Earliest time the next batch may leave.
   double mrai_ready = 0.0;
   /// A flush event is already scheduled at mrai_ready.
@@ -75,7 +77,7 @@ struct NeighborIo {
   SessionState sess = SessionState::kEstablished;
   /// Graceful restart: prefixes whose rib_in candidate from this
   /// neighbour is retained as stale, pending refresh or sweep.
-  std::set<prefix::Prefix> stale;
+  PrefixIdSet stale;
   /// When the open stale-retention cycle began (0 = no open cycle); the
   /// restart-window histogram observes now() - stale_since at resolution.
   double stale_since = 0.0;
@@ -90,21 +92,35 @@ struct NeighborIo {
 };
 
 struct NodeState {
-  std::map<prefix::Prefix, RouteEntry> routes;
-  /// Prefixes with any state here, for parent queries (DRAGON §3.6).
-  prefix::PrefixSet known;
-  std::unordered_map<topology::NodeId, NeighborIo> io;
+  /// The per-node RIB, keyed by PrefixId.  Append-only per node: entries
+  /// are only ever removed wholesale by clear() (crash wipe), never
+  /// individually, so slots stay stable.  Membership here is what the
+  /// seed code's `known` PrefixSet tracked — the interner's covering
+  /// chain filtered by `find() != nullptr` answers the §3.6 parent query.
+  FlatTable<RouteEntry> routes;
+  /// Per-neighbour IO state, indexed by the Simulator's dense neighbour
+  /// slot (topology adjacency order; see Simulator::io()).  Sized once at
+  /// construction and *reset in place* on crash wipes, so the always-
+  /// present defaults (kEstablished, empty stale) reproduce the seed
+  /// code's absent-map-entry semantics.
+  std::vector<NeighborIo> io;
 
   /// Re-elects the prefix from rib_in/origination.  Returns the new
   /// attribute.  The origin's own route competes with learned candidates
   /// (relevant for anycast aggregation prefixes).
-  algebra::Attr elect(const algebra::Algebra& alg, const prefix::Prefix& p);
+  algebra::Attr elect(const algebra::Algebra& alg, prefix::PrefixId id);
 
-  [[nodiscard]] const RouteEntry* find(const prefix::Prefix& p) const;
-  RouteEntry& route(const prefix::Prefix& p);
+  [[nodiscard]] const RouteEntry* find(prefix::PrefixId id) const {
+    return routes.find(id);
+  }
+  RouteEntry& route(prefix::PrefixId id) { return routes.get_or_create(id); }
 
-  /// Does this node install a forwarding entry for p?
-  [[nodiscard]] bool fib_active(const prefix::Prefix& p) const;
+  /// Does this node install a forwarding entry for the prefix?
+  [[nodiscard]] bool fib_active(prefix::PrefixId id) const;
+
+  /// Wipes route state and resets every NeighborIo in place (the io
+  /// vector keeps its size — one slot per topology neighbour).
+  void clear();
 };
 
 }  // namespace dragon::engine

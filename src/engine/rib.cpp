@@ -1,0 +1,59 @@
+#include "engine/rib.hpp"
+
+namespace dragon::engine {
+
+bool PrefixIdSet::insert(prefix::PrefixId key) {
+  const std::size_t before = map_.size();
+  map_.get_or_insert(key, Empty{});
+  return map_.size() != before;
+}
+
+std::vector<prefix::PrefixId> PrefixIdSet::sorted_ids(
+    const prefix::PrefixInterner& interner) const {
+  std::vector<prefix::PrefixId> out;
+  out.reserve(size());
+  for_each([&out](prefix::PrefixId id) { out.push_back(id); });
+  std::sort(out.begin(), out.end(),
+            [&interner](prefix::PrefixId a, prefix::PrefixId b) {
+              return interner.id_less(a, b);
+            });
+  return out;
+}
+
+const algebra::Attr* RibIn::find(topology::NodeId node) const {
+  const std::size_t i = lower_bound(node);
+  if (i == v_.size() || v_[i].node != node) return nullptr;
+  return &v_[i].attr;
+}
+
+void RibIn::set(topology::NodeId node, algebra::Attr attr) {
+  const std::size_t i = lower_bound(node);
+  if (i < v_.size() && v_[i].node == node) {
+    v_[i].attr = attr;
+  } else {
+    v_.insert_at(i, Cand{node, attr});
+  }
+}
+
+bool RibIn::erase(topology::NodeId node) {
+  const std::size_t i = lower_bound(node);
+  if (i == v_.size() || v_[i].node != node) return false;
+  v_.erase_at(i);
+  return true;
+}
+
+std::size_t RibIn::lower_bound(topology::NodeId node) const {
+  std::size_t lo = 0;
+  std::size_t hi = v_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (v_[mid].node < node) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace dragon::engine

@@ -20,6 +20,7 @@
 namespace dragon::engine {
 
 using algebra::kUnreachable;
+using prefix::PrefixId;
 using topology::NodeId;
 using Prefix = prefix::Prefix;
 
@@ -41,9 +42,8 @@ bool Simulator::channel_up(NodeId a, NodeId b) const {
 }
 
 SessionState Simulator::peek_sess(NodeId u, NodeId v) const {
-  const auto it = nodes_[u].io.find(v);
-  return it == nodes_[u].io.end() ? SessionState::kEstablished
-                                  : it->second.sess;
+  const NeighborIo* nio = io_find(u, v);
+  return nio == nullptr ? SessionState::kEstablished : nio->sess;
 }
 
 SessionState Simulator::session_state(NodeId u, NodeId v) const {
@@ -55,8 +55,8 @@ SessionState Simulator::session_state(NodeId u, NodeId v) const {
 }
 
 std::size_t Simulator::stale_route_count(NodeId u, NodeId v) const {
-  const auto it = nodes_[u].io.find(v);
-  return it == nodes_[u].io.end() ? 0 : it->second.stale.size();
+  const NeighborIo* nio = io_find(u, v);
+  return nio == nullptr ? 0 : nio->stale.size();
 }
 
 std::vector<topology::NodeId> Simulator::down_nodes() const {
@@ -73,21 +73,23 @@ std::uint64_t Simulator::bump_sess_epoch(NodeId u, NodeId v) {
 }
 
 void Simulator::flush_rib_in_from(NodeId x, NodeId y) {
-  std::vector<Prefix> lost;
-  for (auto& [p, entry] : nodes_[x].routes) {
-    if (entry.rib_in.erase(y) > 0) lost.push_back(p);
-  }
-  for (const Prefix& p : lost) reelect_and_react(x, p);
+  std::vector<PrefixId> lost;
+  nodes_[x].routes.for_each_sorted(
+      interner_, [&](PrefixId p, RouteEntry& entry) {
+        if (entry.rib_in.erase(y)) lost.push_back(p);
+      });
+  for (const PrefixId p : lost) reelect_and_react(x, p);
 }
 
 void Simulator::retain_stale(NodeId v, NodeId n) {
-  NeighborIo& io = nodes_[v].io[n];
+  NeighborIo& nio = io(v, n);
   std::size_t added = 0;
-  for (const auto& [p, entry] : nodes_[v].routes) {
-    if (entry.rib_in.contains(n) && io.stale.insert(p).second) ++added;
-  }
+  nodes_[v].routes.for_each_sorted(
+      interner_, [&](PrefixId p, const RouteEntry& entry) {
+        if (entry.rib_in.contains(n) && nio.stale.insert(p)) ++added;
+      });
   if (added == 0) return;
-  if (io.stale_since == 0.0) io.stale_since = queue_.now();
+  if (nio.stale_since == 0.0) nio.stale_since = queue_.now();
   g_stale_->add(static_cast<double>(added));
   c_stale_retained_->inc(added);
   DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kStaleRetain, v,
@@ -95,54 +97,54 @@ void Simulator::retain_stale(NodeId v, NodeId n) {
 }
 
 void Simulator::drop_stale(NodeId v, NodeId n) {
-  const auto it = nodes_[v].io.find(n);
-  if (it == nodes_[v].io.end()) return;
-  NeighborIo& io = it->second;
-  if (!io.stale.empty()) {
-    g_stale_->add(-static_cast<double>(io.stale.size()));
-    io.stale.clear();
+  const std::uint32_t slot = io_slot(v, n);
+  if (slot == 0xFFFFFFFFu) return;
+  NeighborIo& nio = nodes_[v].io[slot];
+  if (!nio.stale.empty()) {
+    g_stale_->add(-static_cast<double>(nio.stale.size()));
+    nio.stale.clear();
   }
-  io.stale_since = 0.0;
-  ++io.stale_gen;
+  nio.stale_since = 0.0;
+  ++nio.stale_gen;
 }
 
 void Simulator::sweep_stale(NodeId v, NodeId n, bool expired) {
-  NeighborIo& io = nodes_[v].io[n];
-  if (io.stale.empty() && io.stale_since == 0.0) return;  // no open cycle
-  const std::vector<Prefix> doomed(io.stale.begin(), io.stale.end());
+  NeighborIo& nio = io(v, n);
+  if (nio.stale.empty() && nio.stale_since == 0.0) return;  // no open cycle
+  // Global prefix order — the seed's std::set<Prefix> iteration order, on
+  // which the re-election event sequence depends.
+  const std::vector<PrefixId> doomed = nio.stale.sorted_ids(interner_);
   if (!doomed.empty()) {
     g_stale_->add(-static_cast<double>(doomed.size()));
-    io.stale.clear();
+    nio.stale.clear();
     (expired ? c_stale_expired_ : c_stale_swept_)->inc(doomed.size());
     DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kStaleSweep, v,
                        static_cast<std::int64_t>(n));
   }
-  if (io.stale_since != 0.0) {
+  if (nio.stale_since != 0.0) {
     h_resync_->observe(
-        static_cast<std::uint64_t>((queue_.now() - io.stale_since) * 1e3));
-    io.stale_since = 0.0;
+        static_cast<std::uint64_t>((queue_.now() - nio.stale_since) * 1e3));
+    nio.stale_since = 0.0;
   }
-  ++io.stale_gen;  // the window-cap timer for this cycle dies on its guard
-  for (const Prefix& p : doomed) {
-    RouteEntry& entry = nodes_[v].route(p);
-    if (entry.rib_in.erase(n) > 0) reelect_and_react(v, p);
+  ++nio.stale_gen;  // the window-cap timer for this cycle dies on its guard
+  for (const PrefixId p : doomed) {
+    if (nodes_[v].route(p).rib_in.erase(n)) reelect_and_react(v, p);
   }
 }
 
 void Simulator::session_refresh(NodeId x, NodeId y) {
   if (restart_deferred(x)) return;  // finish_restart() sends table + EoR
-  NeighborIo& io = nodes_[x].io[y];
-  for (const auto& [p, entry] : nodes_[x].routes) {
-    (void)entry;
-    io.pending.insert(p);
-  }
-  if (io.pending.empty()) {
+  NeighborIo& nio = io(x, y);
+  nodes_[x].routes.for_each_sorted(
+      interner_,
+      [&nio](PrefixId p, const RouteEntry&) { nio.pending.insert(p); });
+  if (nio.pending.empty()) {
     // Nothing to advertise: the End-of-RIB is the whole refresh.  Without
     // this, a peer holding stale routes from an empty-table node would
     // wait out the full restart window for nothing.
     send_eor(x, y);
   } else {
-    io.eor_pending = true;
+    nio.eor_pending = true;
     try_flush(x, y);
   }
 }
@@ -155,11 +157,11 @@ void Simulator::establish_session(NodeId u, NodeId v) {
   // either side's refresh tries to flush, or the first side's batch would
   // sit in pending with no flush scheduled.
   for (const auto& [x, y] : {std::pair{u, v}, std::pair{v, u}}) {
-    NeighborIo& io = nodes_[x].io[y];
+    NeighborIo& nio = io(x, y);
     bump_sess_epoch(x, y);
-    io.sess = SessionState::kEstablished;
-    io.probing = false;
-    io.eor_pending = false;
+    nio.sess = SessionState::kEstablished;
+    nio.probing = false;
+    nio.eor_pending = false;
     // Route-refresh semantics: the peer resends its whole table, so our
     // Adj-RIB-Out towards it restarts empty and everything we previously
     // learned from it is suspect until re-advertised.  With graceful
@@ -168,8 +170,8 @@ void Simulator::establish_session(NodeId u, NodeId v) {
     // This also covers the "restart faster than detection" race: a peer
     // that never noticed the crash still refreshes, so routes the
     // restarted node no longer advertises cannot linger.
-    io.sent.clear();
-    io.pending.clear();
+    nio.sent.clear();
+    nio.pending.clear();
     if (config_.session.graceful_restart) {
       retain_stale(x, y);
     } else {
@@ -189,13 +191,13 @@ void Simulator::teardown_session(NodeId u, NodeId v) {
                      static_cast<std::int64_t>(v));
   abort_restart_wait(u, v);
   for (const auto& [x, y] : {std::pair{u, v}, std::pair{v, u}}) {
-    NeighborIo& io = nodes_[x].io[y];
+    NeighborIo& nio = io(x, y);
     bump_sess_epoch(x, y);
-    io.sess = SessionState::kDown;
-    io.sent.clear();
-    io.pending.clear();
-    io.probing = false;
-    io.eor_pending = false;
+    nio.sess = SessionState::kDown;
+    nio.sent.clear();
+    nio.pending.clear();
+    nio.probing = false;
+    nio.eor_pending = false;
     drop_stale(x, y);
     flush_rib_in_from(x, y);
   }
@@ -218,8 +220,8 @@ void Simulator::teardown_session(NodeId u, NodeId v) {
 void Simulator::session_on_loss(NodeId u, NodeId v) {
   const SessionConfig& sc = config_.session;
   if (!sc.enabled) return;
-  NeighborIo& io = nodes_[u].io[v];
-  if (io.sess != SessionState::kEstablished || io.probing) return;
+  NeighborIo& nio = io(u, v);
+  if (nio.sess != SessionState::kEstablished || nio.probing) return;
   // Keepalives ride the same lossy channel as the update that just
   // dropped.  The peer's hold timer expires only if every keepalive in
   // the next hold window is lost too: draw that episode now, from the
@@ -233,11 +235,11 @@ void Simulator::session_on_loss(NodeId u, NodeId v) {
     all_lost = msg_rng_.chance(config_.faults.loss);
   }
   if (!all_lost) return;
-  io.probing = true;
+  nio.probing = true;
   const std::uint64_t eu = sess_epoch(u, v);
   const std::uint64_t ev = sess_epoch(v, u);
   queue_.schedule(queue_.now() + sc.hold_time, [this, u, v, eu, ev] {
-    nodes_[u].io[v].probing = false;
+    io(u, v).probing = false;
     if (sess_epoch(u, v) != eu || sess_epoch(v, u) != ev) return;
     if (!link_alive(u, v) || !node_up(u) || !node_up(v)) return;
     c_hold_expire_->inc();
@@ -257,30 +259,30 @@ void Simulator::session_hold_expired(NodeId v, NodeId n) {
   DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kHoldExpire, v,
                      static_cast<std::int64_t>(n));
   abort_restart_wait(v, n);
-  NeighborIo& io = nodes_[v].io[n];
-  io.sent.clear();
-  io.pending.clear();
-  io.probing = false;
-  io.eor_pending = false;
+  NeighborIo& nio = io(v, n);
+  nio.sent.clear();
+  nio.pending.clear();
+  nio.probing = false;
+  nio.eor_pending = false;
   bump_sess_epoch(v, n);
   const SessionConfig& sc = config_.session;
   if (sc.graceful_restart) {
     // RFC 4724: keep forwarding over the learned routes, mark them stale,
     // and give the peer a restart window to come back and refresh them.
-    io.sess = SessionState::kStaleHold;
+    nio.sess = SessionState::kStaleHold;
     retain_stale(v, n);
-    const std::uint64_t gen = io.stale_gen;
+    const std::uint64_t gen = nio.stale_gen;
     queue_.schedule(queue_.now() + sc.restart_window, [this, v, n, gen] {
-      NeighborIo& io2 = nodes_[v].io[n];
-      if (io2.stale_gen != gen) return;  // cycle already resolved
+      NeighborIo& nio2 = io(v, n);
+      if (nio2.stale_gen != gen) return;  // cycle already resolved
       sweep_stale(v, n, /*expired=*/true);
-      if (!node_up(n) && io2.sess == SessionState::kStaleHold) {
+      if (!node_up(n) && nio2.sess == SessionState::kStaleHold) {
         bump_sess_epoch(v, n);
-        io2.sess = SessionState::kDown;
+        nio2.sess = SessionState::kDown;
       }
     });
   } else {
-    io.sess = SessionState::kDown;
+    nio.sess = SessionState::kDown;
     c_sess_torn_->inc();
     DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kSessionDown, v,
                        static_cast<std::int64_t>(n));
@@ -339,7 +341,7 @@ void Simulator::restart_ra_recheck(NodeId n) {
   if (!config_.enable_dragon) return;
   for (OriginationRecord& rec : originations_) {
     if (rec.origin != n) continue;
-    for (const Prefix& q : rec.delegated) nodes_[n].route(q);
+    for (const Prefix& q : rec.delegated) nodes_[n].route(interner_.intern(q));
     dragon_check_ra(rec);
   }
 }
@@ -356,24 +358,26 @@ void Simulator::abort_restart_wait(NodeId a, NodeId b) {
 
 void Simulator::clear_node_state(NodeId n) {
   NodeState& node = nodes_[n];
-  for (auto& [p, entry] : node.routes) {
+  node.routes.for_each_sorted(interner_, [&](PrefixId p, RouteEntry& entry) {
     if (entry.fib_installed) {
       entry.fib_installed = false;
       c_fib_remove_->inc();
       g_fib_->add(-1.0);
       DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kFibRemove, n,
-                         p);
+                         interner_.prefix_of(p));
     }
     if (entry.elected != kUnreachable && entry.filtered) {
       g_filtered_->add(-1.0);
     }
-  }
-  for (auto& [v, io] : node.io) {
-    if (!io.stale.empty()) {
-      g_stale_->add(-static_cast<double>(io.stale.size()));
+  });
+  for (const NeighborIo& nio : node.io) {
+    if (!nio.stale.empty()) {
+      g_stale_->add(-static_cast<double>(nio.stale.size()));
     }
   }
-  node = NodeState{};
+  // In-place wipe: the routes table empties, the io vector keeps its
+  // one-slot-per-neighbour size with every slot reset to defaults.
+  node.clear();
 }
 
 void Simulator::crash_node(NodeId n) {
@@ -407,14 +411,15 @@ void Simulator::crash_node(NodeId n) {
     rec.effective_attr = rec.attr;
   }
   // n's own session sides go down and their timers die on the epoch bump.
-  for (const auto& nb : topo_.neighbors(n)) {
-    bump_sess_epoch(n, nb.id);
-    const auto it = nodes_[n].io.find(nb.id);
-    if (it != nodes_[n].io.end()) {
-      it->second.sess = SessionState::kDown;
-      it->second.probing = false;
-      it->second.eor_pending = false;
-      it->second.pending.clear();
+  {
+    const auto nbrs = topo_.neighbors(n);
+    for (std::size_t s = 0; s < nbrs.size(); ++s) {
+      bump_sess_epoch(n, nbrs[s].id);
+      NeighborIo& nio = nodes_[n].io[s];
+      nio.sess = SessionState::kDown;
+      nio.probing = false;
+      nio.eor_pending = false;
+      nio.pending.clear();
     }
   }
   // Peers detect the silence when their hold timer expires.
@@ -474,7 +479,7 @@ void Simulator::restart_node(NodeId n) {
   // Reinstall the configured originations; originate()'s refresh path
   // updates the surviving records in place.  Advertisements queue behind
   // the deferral and leave in finish_restart's flood.
-  std::vector<std::pair<Prefix, Attr>> own;
+  std::vector<std::pair<Prefix, algebra::Attr>> own;
   for (const OriginationRecord& rec : originations_) {
     if (rec.origin == n) own.emplace_back(rec.root, rec.attr);
   }

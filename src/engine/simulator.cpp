@@ -11,13 +11,22 @@ namespace dragon::engine {
 
 using algebra::Attr;
 using algebra::kUnreachable;
+using prefix::kNoPrefixId;
+using prefix::PrefixId;
 using topology::NodeId;
 using Prefix = prefix::Prefix;
 
 namespace {
 constexpr const char* kNodeClassNames[3] = {"stub", "transit", "tier1"};
+constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
 }  // namespace
 
+// The intern table is deliberately absent: it is append-only with stable
+// ids, and every engine query against it is filtered by per-node route
+// membership, so a restored trial behaves bit-identically even when the
+// table has grown since the capture (DESIGN.md §10).  Node states are flat
+// vectors all the way down (engine/rib.hpp), which makes this capture a
+// sequence of vector copies instead of per-node tree clones.
 struct Simulator::Snapshot {
   std::vector<NodeState> nodes;
   std::unordered_set<std::uint64_t> failed;
@@ -42,19 +51,27 @@ Simulator::Simulator(const topology::Topology& topo,
       rng_(config_.seed),
       msg_rng_(rng_.fork()),
       nodes_(topo.node_count()),
+      nbr_index_(topo.node_count()),
       labels_(topo.node_count()),
       node_gen_(topo.node_count(), 0),
       sess_epoch_(topo.node_count()),
       node_class_(topo.node_count()) {
   std::uint32_t link_counter = 1;
   for (NodeId u = 0; u < topo.node_count(); ++u) {
-    for (const auto& nb : topo.neighbors(u)) {
+    const auto nbrs = topo.neighbors(u);
+    nodes_[u].io.resize(nbrs.size());
+    labels_[u].reserve(nbrs.size());
+    nbr_index_[u].reserve(nbrs.size());
+    std::uint32_t slot = 0;
+    for (const auto& nb : nbrs) {
       algebra::LabelId label = topology::gr_label(nb.rel);
       if (config_.unique_link_labels) {
         label |= link_counter++ << 2;
       }
-      labels_[u][nb.id] = label;
+      labels_[u].push_back(label);
+      nbr_index_[u].emplace_back(nb.id, slot++);
     }
+    std::sort(nbr_index_[u].begin(), nbr_index_[u].end());
     node_class_[u] = topo.is_stub(u) ? 0 : (topo.is_root(u) ? 2 : 1);
   }
 
@@ -116,8 +133,23 @@ Stats Simulator::stats() const {
   return s;
 }
 
+std::uint32_t Simulator::io_slot(NodeId u, NodeId v) const {
+  const auto& idx = nbr_index_[u];
+  const auto it = std::lower_bound(
+      idx.begin(), idx.end(), v,
+      [](const std::pair<NodeId, std::uint32_t>& e, NodeId key) {
+        return e.first < key;
+      });
+  return (it != idx.end() && it->first == v) ? it->second : kNoSlot;
+}
+
+const NeighborIo* Simulator::io_find(NodeId u, NodeId v) const {
+  const std::uint32_t s = io_slot(u, v);
+  return s == kNoSlot ? nullptr : &nodes_[u].io[s];
+}
+
 algebra::LabelId Simulator::label(NodeId learner, NodeId speaker) const {
-  return labels_[learner].at(speaker);
+  return labels_[learner][io_slot(learner, speaker)];
 }
 
 std::uint32_t Simulator::project(Attr a) const {
@@ -126,6 +158,7 @@ std::uint32_t Simulator::project(Attr a) const {
 }
 
 void Simulator::originate(const Prefix& p, NodeId origin, Attr attr) {
+  const PrefixId pid = interner_.intern(p);
   // A chaos origin-flap can land on a node that is currently crashed: the
   // registry assignment changes, but there is no control plane to act on
   // it.  Mutate only the configuration records — no RIB writes, no
@@ -140,16 +173,16 @@ void Simulator::originate(const Prefix& p, NodeId origin, Attr attr) {
       rec.attr = attr;
       rec.effective_attr = attr;
       if (offline) return;
-      RouteEntry& entry = nodes_[origin].route(p);
+      RouteEntry& entry = nodes_[origin].route(pid);
       entry.originated = true;
       entry.origin_attr = attr;
       entry.origin_paused = rec.deaggregated;
-      reelect_and_react(origin, p);
+      reelect_and_react(origin, pid);
       return;
     }
   }
   if (!offline) {
-    RouteEntry& entry = nodes_[origin].route(p);
+    RouteEntry& entry = nodes_[origin].route(pid);
     entry.originated = true;
     entry.origin_attr = attr;
     entry.origin_paused = false;
@@ -172,7 +205,7 @@ void Simulator::originate(const Prefix& p, NodeId origin, Attr attr) {
   if (config_.enable_dragon && config_.enable_reaggregation) {
     agg_watch_.emplace_back(p, attr);
   }
-  if (!offline) reelect_and_react(origin, p);
+  if (!offline) reelect_and_react(origin, pid);
   // Rule RA is otherwise event-driven at the ancestor origins, and this
   // origination may never produce an event there: a prefix re-delegated
   // to an origin the ancestor cannot reach (it keeps a stale unreachable
@@ -191,13 +224,14 @@ void Simulator::originate(const Prefix& p, NodeId origin, Attr attr) {
 }
 
 void Simulator::withdraw_origin(const Prefix& p, NodeId origin) {
+  const PrefixId pid = interner_.intern(p);
   // Mirror of originate()'s down-node handling: withdrawing at a crashed
   // node edits the configuration only.  The record must go now (or a
   // later restart would resurrect a returned prefix); the RIB of the
   // crashed node is dead or frozen and stays untouched.
   const bool offline = config_.session.enabled && !node_up(origin);
   if (!offline) {
-    RouteEntry& entry = nodes_[origin].route(p);
+    RouteEntry& entry = nodes_[origin].route(pid);
     entry.originated = false;
     entry.origin_attr = kUnreachable;
     entry.origin_paused = false;
@@ -238,26 +272,27 @@ void Simulator::withdraw_origin(const Prefix& p, NodeId origin) {
     for (NodeId u = 0; u < nodes_.size(); ++u) {
       // A crashed node's plane is dead or frozen; restart wipes it anyway.
       if (config_.session.enabled && !node_up(u)) continue;
-      const RouteEntry* re = nodes_[u].find(p);
+      const RouteEntry* re = nodes_[u].find(pid);
       if (re == nullptr || !re->originated || !re->origin_reagg) continue;
-      RouteEntry& e = nodes_[u].route(p);
+      RouteEntry& e = nodes_[u].route(pid);
       e.originated = false;
       e.origin_reagg = false;
       e.origin_attr = kUnreachable;
       DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kAggStop, u, p);
-      reelect_and_react(u, p);
+      reelect_and_react(u, pid);
     }
   }
   if (!offline) {
     for (const Prefix& f : fragments) {
-      RouteEntry& fe = nodes_[origin].route(f);
+      const PrefixId fid = interner_.intern(f);
+      RouteEntry& fe = nodes_[origin].route(fid);
       if (!fe.originated) continue;
       fe.originated = false;
       fe.origin_attr = kUnreachable;
       fe.origin_paused = false;
-      reelect_and_react(origin, f);
+      reelect_and_react(origin, fid);
     }
-    reelect_and_react(origin, p);
+    reelect_and_react(origin, pid);
   }
   // Mirror of the recheck in originate(): an ancestor that de-aggregated
   // around p may never see another event for it (e.g. p's origin is
@@ -276,8 +311,9 @@ void Simulator::withdraw_origin(const Prefix& p, NodeId origin) {
 void Simulator::watch_aggregate(const Prefix& root, Attr attr) {
   if (!config_.enable_dragon || !config_.enable_reaggregation) return;
   agg_watch_.emplace_back(root, attr);
+  const PrefixId root_id = interner_.intern(root);
   for (NodeId u = 0; u < topo_.node_count(); ++u) {
-    dragon_check_reaggregation(u, root, attr);
+    dragon_check_reaggregation(u, root_id, attr);
   }
 }
 
@@ -302,12 +338,10 @@ void Simulator::fail_link(NodeId a, NodeId b) {
     for (NodeId u : {a, b}) {
       const NodeId v = (u == a) ? b : a;
       bump_sess_epoch(u, v);
-      auto io = nodes_[u].io.find(v);
-      if (io != nodes_[u].io.end()) {
-        io->second.sess = SessionState::kDown;
-        io->second.probing = false;
-        io->second.eor_pending = false;
-      }
+      NeighborIo& nio = io(u, v);
+      nio.sess = SessionState::kDown;
+      nio.probing = false;
+      nio.eor_pending = false;
       drop_stale(u, v);
     }
   }
@@ -316,16 +350,14 @@ void Simulator::fail_link(NodeId a, NodeId b) {
   for (NodeId u : {a, b}) {
     const NodeId v = (u == a) ? b : a;
     NodeState& node = nodes_[u];
-    auto io = node.io.find(v);
-    if (io != node.io.end()) {
-      io->second.sent.clear();
-      io->second.pending.clear();
-    }
-    std::vector<Prefix> lost;
-    for (auto& [p, entry] : node.routes) {
-      if (entry.rib_in.erase(v) > 0) lost.push_back(p);
-    }
-    for (const Prefix& p : lost) reelect_and_react(u, p);
+    NeighborIo& nio = io(u, v);
+    nio.sent.clear();
+    nio.pending.clear();
+    std::vector<PrefixId> lost;
+    node.routes.for_each_sorted(interner_, [&](PrefixId p, RouteEntry& entry) {
+      if (entry.rib_in.erase(v)) lost.push_back(p);
+    });
+    for (const PrefixId p : lost) reelect_and_react(u, p);
   }
 }
 
@@ -349,10 +381,10 @@ void Simulator::restore_link(NodeId a, NodeId b) {
   // Session re-establishment: full table re-advertisement both ways.
   for (NodeId u : {a, b}) {
     const NodeId v = (u == a) ? b : a;
-    for (const auto& [p, entry] : nodes_[u].routes) {
-      (void)entry;
-      nodes_[u].io[v].pending.insert(p);
-    }
+    NeighborIo& nio = io(u, v);
+    nodes_[u].routes.for_each_sorted(
+        interner_,
+        [&nio](PrefixId p, const RouteEntry&) { nio.pending.insert(p); });
     try_flush(u, v);
   }
 }
@@ -404,29 +436,34 @@ void Simulator::inject(Time t, std::function<void()> fn) {
 }
 
 Attr Simulator::elected(NodeId u, const Prefix& p) const {
-  const RouteEntry* entry = nodes_[u].find(p);
+  const PrefixId id = interner_.find(p);
+  const RouteEntry* entry = id == kNoPrefixId ? nullptr : nodes_[u].find(id);
   return entry ? entry->elected : kUnreachable;
 }
 
 bool Simulator::filtered(NodeId u, const Prefix& p) const {
-  const RouteEntry* entry = nodes_[u].find(p);
+  const PrefixId id = interner_.find(p);
+  const RouteEntry* entry = id == kNoPrefixId ? nullptr : nodes_[u].find(id);
   return entry != nullptr && entry->filtered;
 }
 
 bool Simulator::fib_active(NodeId u, const Prefix& p) const {
-  return nodes_[u].fib_active(p);
+  const PrefixId id = interner_.find(p);
+  return id != kNoPrefixId && nodes_[u].fib_active(id);
 }
 
 std::size_t Simulator::fib_size(NodeId u) const {
   std::size_t count = 0;
-  for (const auto& [p, entry] : nodes_[u].routes) {
-    if (entry.elected != kUnreachable && !entry.filtered) ++count;
-  }
+  nodes_[u].routes.for_each_sorted(
+      interner_, [&count](PrefixId, const RouteEntry& entry) {
+        if (entry.elected != kUnreachable && !entry.filtered) ++count;
+      });
   return count;
 }
 
 bool Simulator::originates(NodeId u, const Prefix& p) const {
-  const RouteEntry* entry = nodes_[u].find(p);
+  const PrefixId id = interner_.find(p);
+  const RouteEntry* entry = id == kNoPrefixId ? nullptr : nodes_[u].find(id);
   return entry != nullptr && entry->originated && !entry->origin_paused;
 }
 
@@ -434,7 +471,10 @@ void Simulator::for_each_route(
     const std::function<void(NodeId, const Prefix&, const RouteEntry&)>& fn)
     const {
   for (NodeId u = 0; u < nodes_.size(); ++u) {
-    for (const auto& [p, entry] : nodes_[u].routes) fn(u, p, entry);
+    nodes_[u].routes.for_each_sorted(
+        interner_, [&](PrefixId id, const RouteEntry& entry) {
+          fn(u, interner_.prefix_of(id), entry);
+        });
   }
 }
 
@@ -468,21 +508,25 @@ Simulator::TraceResult Simulator::trace(NodeId from,
   for (;;) {
     // Longest prefix match over u's installed entries.
     const NodeState& node = nodes_[u];
-    std::optional<Prefix> best;
+    const RouteEntry* best_entry = nullptr;
+    int best_len = -1;
     Attr best_attr = kUnreachable;
-    for (const auto& [p, e] : node.routes) {
-      if (!node.fib_active(p) || !p.contains(dst)) continue;
-      if (!best || p.length() > best->length()) {
-        best = p;
-        best_attr = e.elected;
-      }
-    }
-    if (!best) {
+    node.routes.for_each_sorted(
+        interner_, [&](PrefixId id, const RouteEntry& e) {
+          if (e.elected == kUnreachable || e.filtered) return;
+          const Prefix& p = interner_.prefix_of(id);
+          if (!p.contains(dst)) return;
+          if (p.length() > best_len) {
+            best_len = p.length();
+            best_attr = e.elected;
+            best_entry = &e;
+          }
+        });
+    if (best_entry == nullptr) {
       result.outcome = Outcome::kBlackHole;
       return result;
     }
-    const RouteEntry& entry = *node.find(*best);
-    if (entry.originated && !entry.origin_paused) {
+    if (best_entry->originated && !best_entry->origin_paused) {
       result.outcome = Outcome::kDelivered;
       return result;
     }
@@ -490,11 +534,11 @@ Simulator::TraceResult Simulator::trace(NodeId from,
     // the elected attribute.
     NodeId next = 0;
     bool found = false;
-    for (const auto& [v, attr] : entry.rib_in) {
+    for (const auto& [v, attr] : best_entry->rib_in) {
       if (attr == best_attr && link_alive(u, v)) {
         next = v;
         found = true;
-        break;  // rib_in is an ordered map: lowest id first
+        break;  // rib_in is sorted by neighbour id: lowest first
       }
     }
     if (!found) {
@@ -516,13 +560,14 @@ Simulator::forwarding_links() const {
   std::unordered_set<std::uint64_t> seen;
   std::vector<std::pair<NodeId, NodeId>> out;
   for (NodeId u = 0; u < nodes_.size(); ++u) {
-    for (const auto& [p, entry] : nodes_[u].routes) {
-      if (!nodes_[u].fib_active(p)) continue;
-      for (const auto& [v, attr] : entry.rib_in) {
-        if (attr != entry.elected || !link_alive(u, v)) continue;
-        if (seen.insert(link_key(u, v)).second) out.emplace_back(u, v);
-      }
-    }
+    nodes_[u].routes.for_each_sorted(
+        interner_, [&](PrefixId, const RouteEntry& entry) {
+          if (entry.elected == kUnreachable || entry.filtered) return;
+          for (const auto& [v, attr] : entry.rib_in) {
+            if (attr != entry.elected || !link_alive(u, v)) continue;
+            if (seen.insert(link_key(u, v)).second) out.emplace_back(u, v);
+          }
+        });
   }
   return out;
 }
@@ -590,7 +635,7 @@ void Simulator::restore(const Snapshot& snap) {
   queue_.reset_time(snap.time);
 }
 
-void Simulator::deliver(NodeId to, NodeId from, const Prefix& p,
+void Simulator::deliver(NodeId to, NodeId from, PrefixId p,
                         std::optional<Attr> wire, std::uint64_t seq) {
   if (config_.session.enabled) {
     // The TCP session under the message died with the channel: anything in
@@ -599,28 +644,30 @@ void Simulator::deliver(NodeId to, NodeId from, const Prefix& p,
   } else if (!link_alive(to, from)) {
     return;  // failed while in flight
   }
+  NeighborIo& nio = io(to, from);
   // Sequence guard: per-(neighbour, prefix) newest-wins.  A reordered
   // older message (chaos extra delay, or in flight across a fast
   // fail/restore cycle) must not clobber a newer update.  Duplicates
   // carry the same seq and are re-applied idempotently.
-  std::uint64_t& rx = nodes_[to].io[from].rx_seq[p];
+  std::uint64_t& rx = nio.rx_seq.get_or_insert(p, 0);
   if (seq < rx) {
     c_msg_stale_->inc();
     DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kMsgStale, to,
-                       static_cast<std::int64_t>(from), p, 0u);
+                       static_cast<std::int64_t>(from),
+                       interner_.prefix_of(p), 0u);
     return;
   }
   rx = seq;
   if (config_.session.enabled) {
     // Graceful restart: a refreshed prefix is no longer stale (RFC 4724's
     // "replace stale route on update").  The remainder is swept at EoR.
-    NeighborIo& sio = nodes_[to].io[from];
-    if (!sio.stale.empty() && sio.stale.erase(p) > 0) g_stale_->add(-1.0);
+    if (!nio.stale.empty() && nio.stale.erase(p)) g_stale_->add(-1.0);
   }
   DRAGON_TRACE_EVENT(tracer_, queue_.now(),
                      wire ? obs::EventKind::kRecvAnnounce
                           : obs::EventKind::kRecvWithdraw,
-                     to, static_cast<std::int64_t>(from), p,
+                     to, static_cast<std::int64_t>(from),
+                     interner_.prefix_of(p),
                      wire ? static_cast<std::uint32_t>(*wire) : 0u);
   RouteEntry& entry = nodes_[to].route(p);
   if (wire) {
@@ -628,7 +675,7 @@ void Simulator::deliver(NodeId to, NodeId from, const Prefix& p,
     if (imported == kUnreachable) {
       entry.rib_in.erase(from);
     } else {
-      entry.rib_in[from] = imported;
+      entry.rib_in.set(from, imported);
     }
   } else {
     entry.rib_in.erase(from);
@@ -636,24 +683,29 @@ void Simulator::deliver(NodeId to, NodeId from, const Prefix& p,
   reelect_and_react(to, p);
 }
 
-void Simulator::reelect_and_react(NodeId u, const Prefix& p) {
+void Simulator::reelect_and_react(NodeId u, PrefixId p) {
   NodeState& node = nodes_[u];
-  RouteEntry& entry = node.route(p);
-  const Attr before = entry.elected;
-  const bool filtered_before = entry.filtered;
+  const Attr before = node.route(p).elected;
+  const bool filtered_before = node.route(p).filtered;
   node.elect(alg_, p);
 
   if (config_.enable_dragon) {
     dragon_react(u, p);
   }
 
+  // Re-acquire: the DRAGON hooks may have created entries (fragments,
+  // aggregation roots, subtree placeholders), and FlatTable growth moves
+  // entries — unlike the seed's std::map, references are not stable.
+  RouteEntry& entry = node.route(p);
   if (entry.elected != before || entry.filtered != filtered_before) {
     DRAGON_LOG_DEBUG("t=%.6f node %u %s elected %x->%x filtered %d->%d",
-                     queue_.now(), u, p.to_bit_string().c_str(), before,
+                     queue_.now(), u,
+                     interner_.prefix_of(p).to_bit_string().c_str(), before,
                      entry.elected, (int)filtered_before,
                      (int)entry.filtered);
     if (entry.elected != before) {
-      DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kElect, u, p,
+      DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kElect, u,
+                         interner_.prefix_of(p),
                          static_cast<std::uint32_t>(entry.elected));
     }
     mark_pending(u, p);
@@ -662,7 +714,7 @@ void Simulator::reelect_and_react(NodeId u, const Prefix& p) {
 }
 
 void Simulator::sync_entry_obs([[maybe_unused]] NodeId u,
-                               [[maybe_unused]] const Prefix& p,
+                               [[maybe_unused]] PrefixId p,
                                RouteEntry& entry) {
   const bool active = entry.elected != kUnreachable && !entry.filtered;
   if (active == entry.fib_installed) return;
@@ -671,23 +723,24 @@ void Simulator::sync_entry_obs([[maybe_unused]] NodeId u,
     c_fib_install_->inc();
     g_fib_->add(1.0);
     DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kFibInstall, u,
-                       p);
+                       interner_.prefix_of(p));
   } else {
     c_fib_remove_->inc();
     g_fib_->add(-1.0);
     DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kFibRemove, u,
-                       p);
+                       interner_.prefix_of(p));
   }
 }
 
-void Simulator::mark_pending(NodeId u, const Prefix& p) {
-  for (const auto& nb : topo_.neighbors(u)) {
-    if (config_.session.enabled ? !channel_up(u, nb.id)
-                                : !link_alive(u, nb.id)) {
+void Simulator::mark_pending(NodeId u, PrefixId p) {
+  const auto nbrs = topo_.neighbors(u);
+  for (std::size_t s = 0; s < nbrs.size(); ++s) {
+    const NodeId v = nbrs[s].id;
+    if (config_.session.enabled ? !channel_up(u, v) : !link_alive(u, v)) {
       continue;
     }
-    nodes_[u].io[nb.id].pending.insert(p);
-    try_flush(u, nb.id);
+    nodes_[u].io[s].pending.insert(p);
+    try_flush(u, v);
   }
 }
 
@@ -698,17 +751,18 @@ void Simulator::try_flush(NodeId u, NodeId v) {
       (!channel_up(u, v) || restart_deferred(u))) {
     return;  // teardown cleanup / finish_restart re-queues as appropriate
   }
-  NeighborIo& io = nodes_[u].io[v];
-  if (io.pending.empty()) return;
-  if (queue_.now() >= io.mrai_ready) {
+  NeighborIo& nio = io(u, v);
+  if (nio.pending.empty()) return;
+  if (queue_.now() >= nio.mrai_ready) {
     flush_now(u, v);
     return;
   }
-  if (!io.flush_scheduled) {
-    io.flush_scheduled = true;
-    queue_.schedule(io.mrai_ready, [this, u, v] {
-      nodes_[u].io[v].flush_scheduled = false;
-      if (!nodes_[u].io[v].pending.empty()) flush_now(u, v);
+  if (!nio.flush_scheduled) {
+    nio.flush_scheduled = true;
+    queue_.schedule(nio.mrai_ready, [this, u, v] {
+      NeighborIo& later = io(u, v);
+      later.flush_scheduled = false;
+      if (!later.pending.empty()) flush_now(u, v);
     });
   }
 }
@@ -720,9 +774,13 @@ void Simulator::flush_now(NodeId u, NodeId v) {
     return;  // the channel moved under a scheduled MRAI flush
   }
   NodeState& node = nodes_[u];
-  NeighborIo& io = node.io[v];
+  NeighborIo& nio = io(u, v);
   bool sent_any = false;
-  for (const Prefix& p : io.pending) {
+  // Batch in global prefix order — the seed's std::set<Prefix> iteration
+  // order, and the order the wire sequence (and thus every digest)
+  // depends on.
+  const std::vector<PrefixId> batch = nio.pending.sorted_ids(interner_);
+  for (const PrefixId p : batch) {
     if (!link_alive(u, v)) break;
     const RouteEntry* entry = node.find(p);
     bool exporting = entry != nullptr && entry->elected != kUnreachable &&
@@ -731,10 +789,10 @@ void Simulator::flush_now(NodeId u, NodeId v) {
         alg_.extend(label(v, u), entry->elected) == kUnreachable) {
       exporting = false;  // export policy drops it; nothing on the wire
     }
-    auto sent_it = io.sent.find(p);
+    const Attr* sent_attr = nio.sent.find(p);
     const bool update_due =
-        exporting ? (sent_it == io.sent.end() || sent_it->second != entry->elected)
-                  : sent_it != io.sent.end();
+        exporting ? (sent_attr == nullptr || *sent_attr != entry->elected)
+                  : sent_attr != nullptr;
     if (!update_due) continue;
     // Chaos loss seam.  The drop happens BEFORE the Adj-RIB-Out mutation:
     // io.sent still records the peer's pre-loss view, so the scheduled
@@ -745,32 +803,32 @@ void Simulator::flush_now(NodeId u, NodeId v) {
       continue;
     }
     if (exporting) {
-      io.sent[p] = entry->elected;
+      nio.sent.put(p, entry->elected);
       send(u, v, p, entry->elected);
     } else {
-      io.sent.erase(sent_it);
+      nio.sent.erase(p);
       send(u, v, p, std::nullopt);
     }
     sent_any = true;
   }
-  io.pending.clear();
+  nio.pending.clear();
   if (sent_any) {
     c_mrai_flush_->inc();
     DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kMraiFlush, u,
                        static_cast<std::int64_t>(v));
     const double jitter = config_.mrai_jitter * rng_.uniform();
-    io.mrai_ready = queue_.now() + config_.mrai * (1.0 - jitter);
+    nio.mrai_ready = queue_.now() + config_.mrai * (1.0 - jitter);
   }
-  if (config_.session.enabled && io.eor_pending) {
+  if (config_.session.enabled && nio.eor_pending) {
     // The refresh batch is fully on the wire (losses retransmit and are
     // resent before the peer's sweep: EoR rides a later flush only if the
     // batch sent nothing).  Close it with the End-of-RIB marker.
-    io.eor_pending = false;
+    nio.eor_pending = false;
     send_eor(u, v);
   }
 }
 
-void Simulator::send(NodeId from, NodeId to, const Prefix& p,
+void Simulator::send(NodeId from, NodeId to, PrefixId p,
                      std::optional<Attr> wire) {
   if (wire) {
     c_announce_->inc();
@@ -778,11 +836,13 @@ void Simulator::send(NodeId from, NodeId to, const Prefix& p,
     c_withdraw_->inc();
   }
   c_class_updates_[node_class_[from]]->inc();
-  h_update_depth_->observe(static_cast<std::uint64_t>(p.length()));
+  h_update_depth_->observe(
+      static_cast<std::uint64_t>(interner_.prefix_of(p).length()));
   DRAGON_TRACE_EVENT(tracer_, queue_.now(),
                      wire ? obs::EventKind::kAnnounce
                           : obs::EventKind::kWithdraw,
-                     from, static_cast<std::int64_t>(to), p,
+                     from, static_cast<std::int64_t>(to),
+                     interner_.prefix_of(p),
                      wire ? static_cast<std::uint32_t>(*wire) : 0u);
   const std::uint64_t seq = ++msg_seq_;
   schedule_delivery(from, to, p, wire, seq);
@@ -792,12 +852,13 @@ void Simulator::send(NodeId from, NodeId to, const Prefix& p,
     // unless a newer update overtakes it first.
     c_msg_dup_->inc();
     DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kMsgDup, from,
-                       static_cast<std::int64_t>(to), p, 0u);
+                       static_cast<std::int64_t>(to), interner_.prefix_of(p),
+                       0u);
     schedule_delivery(from, to, p, wire, seq);
   }
 }
 
-void Simulator::schedule_delivery(NodeId from, NodeId to, const Prefix& p,
+void Simulator::schedule_delivery(NodeId from, NodeId to, PrefixId p,
                                   std::optional<Attr> wire,
                                   std::uint64_t seq) {
   const double jitter =
@@ -812,10 +873,11 @@ void Simulator::schedule_delivery(NodeId from, NodeId to, const Prefix& p,
   });
 }
 
-void Simulator::drop_and_retry(NodeId u, NodeId v, const Prefix& p) {
+void Simulator::drop_and_retry(NodeId u, NodeId v, PrefixId p) {
   c_msg_lost_->inc();
   DRAGON_TRACE_EVENT(tracer_, queue_.now(), obs::EventKind::kMsgLost, u,
-                     static_cast<std::int64_t>(v), p, 0u);
+                     static_cast<std::int64_t>(v), interner_.prefix_of(p),
+                     0u);
   // An observed loss is the session layer's signal that keepalives share
   // the channel's fate: maybe this hold window eats them all.
   session_on_loss(u, v);
@@ -823,7 +885,7 @@ void Simulator::drop_and_retry(NodeId u, NodeId v, const Prefix& p) {
     if (config_.session.enabled ? !channel_up(u, v) : !link_alive(u, v)) {
       return;  // session reset resynced the peer
     }
-    nodes_[u].io[v].pending.insert(p);
+    io(u, v).pending.insert(p);
     try_flush(u, v);
   });
 }

@@ -41,6 +41,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
+#include "prefix/intern.hpp"
 #include "prefix/prefix.hpp"
 #include "topology/graph.hpp"
 #include "util/rng.hpp"
@@ -323,27 +324,43 @@ class Simulator {
   [[nodiscard]] algebra::LabelId label(NodeId learner, NodeId speaker) const;
   [[nodiscard]] std::uint32_t project(Attr a) const;
 
-  void deliver(NodeId to, NodeId from, const Prefix& p,
+  // --- Neighbour IO addressing ---------------------------------------------
+  // NodeState::io is a dense vector with one slot per topology neighbour
+  // (adjacency order); the sorted (neighbour id -> slot) index lives here,
+  // shared by every trial and never copied into snapshots.
+  [[nodiscard]] std::uint32_t io_slot(NodeId u, NodeId v) const;
+  [[nodiscard]] NeighborIo& io(NodeId u, NodeId v) {
+    return nodes_[u].io[io_slot(u, v)];
+  }
+  [[nodiscard]] const NeighborIo& io(NodeId u, NodeId v) const {
+    return nodes_[u].io[io_slot(u, v)];
+  }
+  /// Like io(), but nullptr when v is not a neighbour of u (public
+  /// introspection entry points may be probed with arbitrary pairs).
+  [[nodiscard]] const NeighborIo* io_find(NodeId u, NodeId v) const;
+
+  void deliver(NodeId to, NodeId from, prefix::PrefixId p,
                std::optional<Attr> wire, std::uint64_t seq);
   /// Queues one wire copy of the message (link-delay jitter plus any
   /// chaos-injected extra delay).
-  void schedule_delivery(NodeId from, NodeId to, const Prefix& p,
+  void schedule_delivery(NodeId from, NodeId to, prefix::PrefixId p,
                          std::optional<Attr> wire, std::uint64_t seq);
   /// Chaos loss path: drop the update before it reaches the wire and
   /// schedule a retransmission (the prefix is re-flushed later).
-  void drop_and_retry(NodeId u, NodeId v, const Prefix& p);
+  void drop_and_retry(NodeId u, NodeId v, prefix::PrefixId p);
   /// Re-elects p at u, runs DRAGON hooks, and schedules updates for every
   /// prefix whose externally visible state may have changed.
-  void reelect_and_react(NodeId u, const Prefix& p);
+  void reelect_and_react(NodeId u, prefix::PrefixId p);
   /// Reconciles the entry's FIB accounting (install/remove counters, the
   /// fib_entries gauge, trace events) with its current elected/filtered
   /// state.  Idempotent.
-  void sync_entry_obs(NodeId u, const Prefix& p, RouteEntry& entry);
+  void sync_entry_obs(NodeId u, prefix::PrefixId p, RouteEntry& entry);
   [[nodiscard]] obs::Timeline::Sample timeline_sample(Time t) const;
-  void mark_pending(NodeId u, const Prefix& p);
+  void mark_pending(NodeId u, prefix::PrefixId p);
   void try_flush(NodeId u, NodeId v);
   void flush_now(NodeId u, NodeId v);
-  void send(NodeId from, NodeId to, const Prefix& p, std::optional<Attr> wire);
+  void send(NodeId from, NodeId to, prefix::PrefixId p,
+            std::optional<Attr> wire);
 
   // Session lifecycle (engine/session.cpp).
   /// Can protocol messages flow on (a, b)?  Link alive, both endpoints up,
@@ -404,12 +421,16 @@ class Simulator {
   void clear_node_state(NodeId n);
 
   // DRAGON hooks (engine/dragon_hooks.cpp).
-  void dragon_react(NodeId u, const Prefix& p);
-  void dragon_update_cr(NodeId u, const Prefix& q);
+  void dragon_react(NodeId u, prefix::PrefixId p);
+  void dragon_update_cr(NodeId u, prefix::PrefixId q);
   void dragon_check_ra(OriginationRecord& rec);
-  void dragon_check_reaggregation(NodeId u, const Prefix& root, Attr attr);
-  [[nodiscard]] std::optional<Prefix> effective_parent(const NodeState& node,
-                                                       const Prefix& q) const;
+  void dragon_check_reaggregation(NodeId u, prefix::PrefixId root, Attr attr);
+  /// DRAGON's §3.6 parent: the most specific prefix strictly covering q
+  /// for which the node currently elects a route — the interner's
+  /// memoized covering chain filtered by the node's route membership.
+  /// Returns prefix::kNoPrefixId when there is none.
+  [[nodiscard]] prefix::PrefixId effective_parent(const NodeState& node,
+                                                  prefix::PrefixId q) const;
 
   const topology::Topology& topo_;
   const algebra::Algebra& alg_;
@@ -421,8 +442,17 @@ class Simulator {
   util::Rng msg_rng_;
   /// Global monotone message sequence; see NeighborIo::rx_seq.
   std::uint64_t msg_seq_ = 0;
+  /// Prefix -> dense id intern table.  Append-only with stable ids, so
+  /// snapshots skip it: per-node membership (NodeState::routes) is what
+  /// restores, and every interner query the engine makes is filtered by
+  /// membership (DESIGN.md §10).
+  prefix::PrefixInterner interner_;
   std::vector<NodeState> nodes_;
-  std::vector<std::unordered_map<NodeId, algebra::LabelId>> labels_;
+  /// Per-node (neighbour id -> io slot) indices, sorted by neighbour id.
+  std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> nbr_index_;
+  /// Import labels, indexed [node][io slot] (flat mirror of the seed's
+  /// per-node hash maps).
+  std::vector<std::vector<algebra::LabelId>> labels_;
   std::unordered_set<std::uint64_t> failed_;
   /// Crashed nodes (ordered: down_nodes() feeds the oracle and must be
   /// deterministic).  Always empty while the session layer is disabled.

@@ -1,0 +1,144 @@
+// Inline small-vector for trivially copyable element types.
+//
+// The engine's hot per-entry collections (Adj-RIB-In candidate lists) have
+// a tiny typical cardinality — most ASs are stubs with a handful of
+// providers — so a node-based or heap-backed container spends more time in
+// the allocator than in the data.  SmallVector keeps up to N elements in
+// inline storage and only touches the heap beyond that.  Restricting T to
+// trivially copyable types keeps every copy (snapshot/restore clones whole
+// node states) a memcpy and the destructor trivial per element.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+namespace dragon::util {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable types");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  SmallVector() noexcept = default;
+
+  SmallVector(const SmallVector& other) { copy_from(other); }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      release();
+      copy_from(other);
+    }
+    return *this;
+  }
+  SmallVector(SmallVector&& other) noexcept { steal_from(other); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal_from(other);
+    }
+    return *this;
+  }
+  ~SmallVector() { release(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) grow(size_ + 1);
+    data_[size_++] = value;
+  }
+
+  /// Inserts `value` before index `pos` (pos == size() appends).
+  void insert_at(std::size_t pos, const T& value) {
+    if (size_ == capacity_) grow(size_ + 1);
+    std::memmove(data_ + pos + 1, data_ + pos, (size_ - pos) * sizeof(T));
+    data_[pos] = value;
+    ++size_;
+  }
+
+  /// Removes the element at index `pos`, shifting the tail down.
+  void erase_at(std::size_t pos) noexcept {
+    std::memmove(data_ + pos, data_ + pos + 1,
+                 (size_ - pos - 1) * sizeof(T));
+    --size_;
+  }
+
+  void reserve(std::size_t want) {
+    if (want > capacity_) grow(want);
+  }
+
+ private:
+  void grow(std::size_t want) {
+    std::size_t cap = capacity_ * 2;
+    if (cap < want) cap = want;
+    T* heap = static_cast<T*>(::operator new(cap * sizeof(T)));
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    if (data_ != inline_data()) ::operator delete(data_);
+    data_ = heap;
+    capacity_ = cap;
+  }
+
+  void copy_from(const SmallVector& other) {
+    if (other.size_ <= N) {
+      data_ = inline_data();
+      capacity_ = N;
+    } else {
+      data_ = static_cast<T*>(::operator new(other.size_ * sizeof(T)));
+      capacity_ = other.size_;
+    }
+    size_ = other.size_;
+    std::memcpy(data_, other.data_, size_ * sizeof(T));
+  }
+
+  void steal_from(SmallVector& other) noexcept {
+    if (other.data_ == other.inline_data()) {
+      data_ = inline_data();
+      capacity_ = N;
+      size_ = other.size_;
+      std::memcpy(data_, other.data_, size_ * sizeof(T));
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.capacity_ = N;
+    }
+    other.size_ = 0;
+  }
+
+  void release() noexcept {
+    if (data_ != inline_data()) ::operator delete(data_);
+    data_ = inline_data();
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  [[nodiscard]] T* inline_data() noexcept {
+    return reinterpret_cast<T*>(storage_);
+  }
+
+  alignas(T) unsigned char storage_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace dragon::util

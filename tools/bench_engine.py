@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""End-to-end engine wall-clock bench: runs the trial-driven benches with
+pinned scenario arguments and records their wall-clock seconds in the
+repo's registry-shaped metrics JSON, so tools/bench_gate.py can compare a
+fresh run against the committed bench/BENCH_engine.json baseline.
+
+The pinned cases are deliberately small (a few seconds total in
+RelWithDebInfo) so the artifact is cheap to refresh and cheap to gate;
+EXPERIMENTS.md records the full-size before/after numbers separately.
+Seeds and --threads are pinned so every run executes the identical
+deterministic event sequence — wall-clock is the only free variable.
+
+Usage:
+    bench_engine.py --build-dir build [--out BENCH_engine.json]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+# (case name, binary, pinned scenario args)
+CASES = [
+    ("fig9_small",
+     "bench/bench_fig9_convergence",
+     ["--trees", "8", "--trials", "20", "--seed", "1", "--threads", "1"]),
+    ("chaos_small",
+     "bench/bench_chaos",
+     ["--schedules", "8", "--bursts", "1,2", "--events", "4",
+      "--seed", "1", "--threads", "1"]),
+]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build directory with the bench binaries")
+    ap.add_argument("--out", default="BENCH_engine.json",
+                    help="output metrics JSON path")
+    ap.add_argument("--repeat", type=int, default=3,
+                    help="runs per case; the minimum wall-clock is kept "
+                         "(default: %(default)s)")
+    args = ap.parse_args()
+
+    gauges = {}
+    for name, rel_bin, case_args in CASES:
+        binary = os.path.join(args.build_dir, rel_bin)
+        if not os.path.exists(binary):
+            print("bench_engine: ERROR: %s not built" % binary)
+            return 2
+        best = None
+        for rep in range(args.repeat):
+            start = time.monotonic()
+            proc = subprocess.run([binary] + case_args,
+                                  stdout=subprocess.DEVNULL,
+                                  stderr=subprocess.STDOUT)
+            wall = time.monotonic() - start
+            if proc.returncode != 0:
+                print("bench_engine: ERROR: %s exited %d"
+                      % (name, proc.returncode))
+                return 1
+            best = wall if best is None else min(best, wall)
+            print("bench_engine: %s run %d/%d: %.3fs"
+                  % (name, rep + 1, args.repeat, wall))
+        gauges["engine.%s.wall_seconds" % name] = best
+        print("bench_engine: %s best: %.3fs" % (name, best))
+
+    doc = {
+        "meta": {"bench": "bench_engine", "seed": 1, "threads": 1},
+        "engine": {"counters": {}, "gauges": gauges, "histograms": {}},
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("bench_engine: wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the repo's registry-shaped bench JSON.
+
+Compares a candidate metrics artifact (a fresh bench run) against a
+committed baseline and exits non-zero when any shared timing gauge
+regressed by more than ``--max-ratio``.  Both files are the shape
+``bench_common.hpp::write_metrics_json`` emits::
+
+    {"meta": {...}, "<section>": {"counters": {...}, "gauges": {...},
+                                  "histograms": {...}}, ...}
+
+Only gauges are compared (the benches store ns/iter and wall-clock
+seconds as gauges); counters and histograms are informational.  Gauges
+present on one side only are reported but never fail the gate — adding a
+bench must not break CI until the baseline is refreshed (see
+bench/README.md for the refresh procedure).
+
+The default tolerance is deliberately loose: committed baselines are
+RelWithDebInfo numbers from one machine, while the gate also runs under
+ASan/TSan presets where a 10-30x slowdown is normal.  The per-preset
+``--max-ratio`` values in tests/CMakeLists.txt are sized so the gate
+catches order-of-magnitude regressions (an accidental O(n^2), a debug
+container swap) rather than noise.
+
+Usage:
+    bench_gate.py --baseline bench/BENCH_micro.json \
+                  --candidate build/BENCH_micro.json \
+                  [--max-ratio 8.0] [--metric-prefix micro.]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_gauges(path, metric_prefix):
+    """Flattens every section's gauges into {"section.name": value}."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    gauges = {}
+    for section, body in doc.items():
+        if section == "meta" or not isinstance(body, dict):
+            continue
+        for name, value in body.get("gauges", {}).items():
+            if metric_prefix and not name.startswith(metric_prefix):
+                continue
+            gauges["%s.%s" % (section, name)] = float(value)
+    return doc.get("meta", {}), gauges
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON (e.g. bench/BENCH_micro.json)")
+    ap.add_argument("--candidate", required=True,
+                    help="freshly generated JSON to check")
+    ap.add_argument("--max-ratio", type=float, default=8.0,
+                    help="fail when candidate/baseline exceeds this "
+                         "(default: %(default)s)")
+    ap.add_argument("--metric-prefix", default="",
+                    help="only gate gauges whose name (within a section) "
+                         "starts with this prefix")
+    ap.add_argument("--min-baseline", type=float, default=1.0,
+                    help="skip gauges whose baseline value is below this "
+                         "(sub-ns noise; default: %(default)s)")
+    args = ap.parse_args()
+
+    base_meta, base = load_gauges(args.baseline, args.metric_prefix)
+    cand_meta, cand = load_gauges(args.candidate, args.metric_prefix)
+
+    if base_meta.get("bench") != cand_meta.get("bench"):
+        print("bench_gate: warning: meta.bench differs (%r vs %r)"
+              % (base_meta.get("bench"), cand_meta.get("bench")))
+
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        print("bench_gate: ERROR: no shared gauges between %s and %s"
+              % (args.baseline, args.candidate))
+        return 2
+    for name in sorted(set(base) ^ set(cand)):
+        side = "baseline" if name in base else "candidate"
+        print("bench_gate: note: %s only in %s (not gated)" % (name, side))
+
+    failures = []
+    for name in shared:
+        if base[name] < args.min_baseline:
+            continue
+        ratio = cand[name] / base[name] if base[name] > 0 else float("inf")
+        status = "FAIL" if ratio > args.max_ratio else "ok"
+        print("bench_gate: %-4s %-60s base=%12.1f cand=%12.1f ratio=%6.2f"
+              % (status, name, base[name], cand[name], ratio))
+        if ratio > args.max_ratio:
+            failures.append((name, ratio))
+
+    if failures:
+        print("bench_gate: FAILED: %d gauge(s) regressed beyond %.1fx:"
+              % (len(failures), args.max_ratio))
+        for name, ratio in failures:
+            print("bench_gate:   %s (%.2fx)" % (name, ratio))
+        return 1
+    print("bench_gate: passed (%d gauges, max-ratio %.1f)"
+          % (len(shared), args.max_ratio))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
