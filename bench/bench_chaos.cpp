@@ -229,6 +229,7 @@ int main(int argc, char** argv) {
     std::vector<std::uint64_t> seeds(flags.u64("schedules"));
     for (auto& s : seeds) s = burst_rng();
 
+    DRAGON_SPAN_ARG("bench", "sweep", "burst", burst);
     std::vector<chaos::ScheduleOutcome> outcomes;
     if (tracing) {
       // Sequential with the tracer attached (pool was dropped above).
@@ -326,12 +327,16 @@ int main(int argc, char** argv) {
   }
 
   tracer.flush();
+  tracer.export_metrics(bench_metrics);
   if (!flags.str("metrics-json").empty()) {
     bench::write_metrics_json(
         flags.str("metrics-json"),
         {{"bench", &bench_metrics}, {"engine", &agg}},
         bench::run_meta_json("bench_chaos", flags.u64("seed"), threads));
   }
+  pool.reset();  // exporting spans requires the workers joined
+  bench::maybe_export_span_trace(
+      flags, "bench_chaos", {{"seed", std::to_string(flags.u64("seed"))}});
   std::puts("# all schedules passed invariants and the differential oracle");
   return 0;
 }

@@ -17,6 +17,8 @@
 #include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_export.hpp"
 #include "topology/cleaner.hpp"
 #include "topology/generator.hpp"
 #include "util/flags.hpp"
@@ -72,7 +74,11 @@ inline void run_trials(exec::ThreadPool* pool, std::size_t total,
                        const std::function<void(std::size_t, R&)>& commit) {
   if (pool == nullptr || pool->size() <= 1) {
     for (std::size_t i = 0; i < total; ++i) {
-      R result = trial(i);
+      R result = [&] {
+        DRAGON_SPAN_ARG("bench", "trial", "trial", i);
+        return trial(i);
+      }();
+      DRAGON_SPAN_ARG("bench", "commit", "trial", i);
       commit(i, result);
     }
     return;
@@ -81,7 +87,12 @@ inline void run_trials(exec::ThreadPool* pool, std::size_t total,
   opts.chunks = total;
   std::vector<R> results = exec::parallel_map<R>(
       pool, total,
-      [&trial](std::size_t i, exec::TaskContext&) { return trial(i); }, opts);
+      [&trial](std::size_t i, exec::TaskContext&) {
+        DRAGON_SPAN_ARG("bench", "trial", "trial", i);
+        return trial(i);
+      },
+      opts);
+  DRAGON_SPAN_ARG("bench", "commit", "trials", total);
   for (std::size_t i = 0; i < total; ++i) commit(i, results[i]);
 }
 
@@ -93,11 +104,38 @@ inline void define_obs_flags(util::Flags& flags) {
                "write the metrics registry as JSON to this path");
   flags.define("profile", "false",
                "time election/trie/flush scopes; summary on exit");
+  flags.define("span-trace", "",
+               "write a Chrome trace-event JSON of execution spans to this "
+               "path (load in Perfetto / chrome://tracing; analyze with "
+               "tools/trace_report.py)");
 }
 
-/// Applies the parsed observability flags (call once after parse).
+/// Applies the parsed observability flags (call once after parse).  Span
+/// recording is always armed — the per-span cost is two steady-clock reads
+/// and a ring store, and keeping it on in every bench run is what lets
+/// tools/bench_gate.py enforce the "within noise" overhead contract.
 inline void apply_obs_flags(const util::Flags& flags) {
   if (flags.boolean("profile")) obs::profiling_enable(true);
+  obs::span_enable(true);
+  obs::span_set_thread_name("main");
+}
+
+/// Exports the span rings collected so far to --span-trace (no-op when the
+/// flag is empty).  Call once, after worker pools are destroyed — the
+/// export contract requires writer threads to be joined first.
+inline void maybe_export_span_trace(
+    const util::Flags& flags, const char* bench_name,
+    std::vector<std::pair<std::string, std::string>> other_data = {}) {
+  const std::string path = flags.str("span-trace");
+  if (path.empty()) return;
+  obs::TraceExportOptions options;
+  options.process_name = bench_name;
+  options.other_data = std::move(other_data);
+  if (!obs::export_chrome_trace(path, options)) {
+    DRAGON_LOG_WARN("cannot write --span-trace path %s", path.c_str());
+  } else {
+    std::printf("# span trace written to %s\n", path.c_str());
+  }
 }
 
 /// The reproducibility header benches prepend to their JSON artifacts:

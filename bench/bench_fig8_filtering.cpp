@@ -254,5 +254,9 @@ int main(int argc, char** argv) {
         bench::run_meta_json("bench_fig8_filtering", flags.u64("seed"),
                              threads));
   }
+  pool.reset();  // exporting spans requires the workers joined
+  bench::maybe_export_span_trace(
+      flags, "bench_fig8_filtering",
+      {{"seed", std::to_string(flags.u64("seed"))}});
   return 0;
 }

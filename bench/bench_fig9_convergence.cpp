@@ -443,6 +443,7 @@ int main(int argc, char** argv) {
   }
 
   tracer.flush();
+  tracer.export_metrics(bench_metrics);
   if (tracing) {
     std::fprintf(stderr, "# trace: %llu events recorded, %llu dropped -> %s\n",
                  (unsigned long long)tracer.recorded(),
@@ -457,5 +458,9 @@ int main(int argc, char** argv) {
         bench::run_meta_json("bench_fig9_convergence", flags.u64("seed"),
                              threads));
   }
+  pool.reset();  // exporting spans requires the workers joined
+  bench::maybe_export_span_trace(
+      flags, "bench_fig9_convergence",
+      {{"seed", std::to_string(flags.u64("seed"))}});
   return 0;
 }

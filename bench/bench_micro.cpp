@@ -304,6 +304,10 @@ class RegistryReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Span recording armed but with no sink attached: every ns/iter figure
+  // the perf gate compares therefore prices in the enabled-profiler
+  // overhead (the contract is "within noise"; see obs/span.hpp).
+  dragon::obs::span_enable(true);
   // Peel our own flag off before google-benchmark sees the command line
   // (its parser rejects flags it does not know).
   std::string metrics_json;

@@ -11,18 +11,24 @@
 //
 // Always writes a metrics JSON artifact (default BENCH_scaling.json):
 // gauges scaling.seconds.threads.T and scaling.speedup.threads.T per
-// sweep, plus the schedule count.
+// sweep, plus the schedule count, plus a per-stage wall-clock breakdown
+// (compute/merge/commit/idle seconds from the span layer, see
+// obs/span.hpp) as scaling.span.* gauges and a "span_breakdown" meta
+// block — the numbers tools/trace_report.py derives from a full trace,
+// stamped into the artifact on every run.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "algebra/gr_path_algebra.hpp"
 #include "chaos/sweep.hpp"
+#include "obs/trace.hpp"
 #include "stats/table.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -66,6 +72,36 @@ struct Digest {
   bool operator==(const Digest&) const = default;
 };
 
+/// Per-stage seconds from the span-site accumulators (exact regardless
+/// of ring wrap; see obs/span.hpp).  Buckets match tools/trace_report.py:
+/// chunk bodies are compute, everything the runtime adds around them is
+/// split into merge / ordered-commit / idle.
+struct StageSeconds {
+  double compute = 0.0;
+  double merge = 0.0;
+  double commit = 0.0;
+  double idle = 0.0;
+};
+
+StageSeconds stage_totals() {
+  StageSeconds s;
+  for (const auto& t : obs::span_site_totals()) {
+    const double sec = static_cast<double>(t.total_ns) / 1e9;
+    const std::string_view cat(t.category), name(t.name);
+    if (cat == "pool" && name == "idle") {
+      s.idle += sec;
+    } else if (cat == "exec" && name == "shard_merge") {
+      s.merge += sec;
+    } else if ((cat == "exec" && name == "commit_wait") ||
+               (cat == "bench" && name == "commit")) {
+      s.commit += sec;
+    } else if (cat == "exec" && name == "chunk") {
+      s.compute += sec;
+    }
+  }
+  return s;
+}
+
 Digest digest_of(const chaos::ScheduleOutcome& out) {
   Digest d;
   d.seed = out.seed;
@@ -94,15 +130,36 @@ int main(int argc, char** argv) {
   flags.define_int("burst", 2, "correlated-burst size", 1, 1 << 20);
   flags.define_duration("horizon", 120.0, "fault window length", 1.0, 86400.0);
   flags.define("mrai", "5", "MRAI (sim seconds)");
+  flags.define("trace-file", "",
+               "write the structured event trace (JSONL) here; forces a "
+               "sequential single-entry sweep (--threads-list 1)");
   if (!flags.parse(argc, argv)) return 1;
   flags.print_config("bench_scaling");
   bench::apply_obs_flags(flags);
 
-  const auto thread_counts = parse_list(flags.str("threads-list"));
+  auto thread_counts = parse_list(flags.str("threads-list"));
   if (thread_counts.empty()) {
     std::fprintf(stderr, "no thread counts in --threads-list=%s\n",
                  flags.str("threads-list").c_str());
     return 1;
+  }
+
+  obs::EventTracer tracer(1 << 16);
+  const bool tracing = !flags.str("trace-file").empty();
+  if (tracing) {
+    if (thread_counts.size() != 1 || thread_counts[0] != 1) {
+      // The tracer is a single coherent stream; interleaving schedules
+      // from worker threads would scramble it.
+      DRAGON_LOG_WARN(
+          "--trace-file forces a sequential sweep (--threads-list 1)");
+      thread_counts = {1};
+    }
+    if (!tracer.open_sink(flags.str("trace-file"))) {
+      std::fprintf(stderr, "cannot open --trace-file %s\n",
+                   flags.str("trace-file").c_str());
+      return 1;
+    }
+    tracer.note(bench::run_meta_json("bench_scaling", flags.u64("seed"), 1));
   }
 
   const auto scenario = bench::build_scenario(flags);
@@ -147,19 +204,42 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry reg;
   stats::Table table({"threads", "seconds", "speedup", "ok", "identical"});
   std::vector<Digest> baseline;
+  std::vector<std::pair<std::size_t, StageSeconds>> breakdowns;
   double baseline_seconds = 0.0;
   bool all_identical = true;
 
   for (std::size_t ti = 0; ti < thread_counts.size(); ++ti) {
     const std::size_t threads = thread_counts[ti];
+    const StageSeconds before = stage_totals();
     std::unique_ptr<exec::ThreadPool> pool;
     if (threads > 1) pool = std::make_unique<exec::ThreadPool>(threads);
 
     const auto t0 = std::chrono::steady_clock::now();
-    const auto outcomes = chaos::run_schedule_sweep(spec, seeds, pool.get());
+    std::vector<chaos::ScheduleOutcome> outcomes;
+    {
+      DRAGON_SPAN_ARG("bench", "sweep", "threads", threads);
+      if (tracing) {
+        // Sequential with the tracer attached (single sweep, see above).
+        outcomes.reserve(seeds.size());
+        for (const std::uint64_t seed : seeds) {
+          outcomes.push_back(chaos::run_schedule(spec, seed, &tracer));
+        }
+      } else {
+        outcomes = chaos::run_schedule_sweep(spec, seeds, pool.get());
+      }
+    }
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    // Join the workers before reading the accumulators: their final idle
+    // spans are only recorded once shutdown wakes them.
+    pool.reset();
+    const StageSeconds after = stage_totals();
+    breakdowns.emplace_back(
+        threads, StageSeconds{after.compute - before.compute,
+                              after.merge - before.merge,
+                              after.commit - before.commit,
+                              after.idle - before.idle});
 
     std::size_t ok = 0;
     std::vector<Digest> digests;
@@ -193,6 +273,19 @@ int main(int argc, char** argv) {
     reg.gauge(name)->set(seconds);
     std::snprintf(name, sizeof name, "scaling.speedup.threads.%zu", threads);
     reg.gauge(name)->set(speedup);
+    const StageSeconds& stages = breakdowns.back().second;
+    std::snprintf(name, sizeof name, "scaling.span.compute_s.threads.%zu",
+                  threads);
+    reg.gauge(name)->set(stages.compute);
+    std::snprintf(name, sizeof name, "scaling.span.merge_s.threads.%zu",
+                  threads);
+    reg.gauge(name)->set(stages.merge);
+    std::snprintf(name, sizeof name, "scaling.span.commit_s.threads.%zu",
+                  threads);
+    reg.gauge(name)->set(stages.commit);
+    std::snprintf(name, sizeof name, "scaling.span.idle_s.threads.%zu",
+                  threads);
+    reg.gauge(name)->set(stages.idle);
 
     char seconds_s[32], speedup_s[32];
     std::snprintf(seconds_s, sizeof seconds_s, "%.3f", seconds);
@@ -203,16 +296,39 @@ int main(int argc, char** argv) {
   }
   table.print();
   reg.counter("scaling.schedules")->inc(seeds.size());
+  tracer.flush();
+  tracer.export_metrics(reg);
 
   std::string out_path = flags.str("metrics-json");
   if (out_path.empty()) out_path = "BENCH_scaling.json";
   std::size_t max_threads = 1;
   for (const std::size_t t : thread_counts)
     max_threads = std::max(max_threads, t);
-  bench::write_metrics_json(
-      out_path, {{"scaling", &reg}},
-      bench::run_meta_json("bench_scaling", flags.u64("seed"), max_threads));
+  // run_meta_json() plus the per-sweep stage breakdown, spliced in before
+  // the closing brace so the artifact replays the decomposition from the
+  // file alone.
+  std::string meta =
+      bench::run_meta_json("bench_scaling", flags.u64("seed"), max_threads);
+  meta.pop_back();
+  meta += ",\"span_breakdown\":{";
+  for (std::size_t i = 0; i < breakdowns.size(); ++i) {
+    const auto& [threads, stages] = breakdowns[i];
+    char entry[192];
+    std::snprintf(entry, sizeof entry,
+                  "%s\"%zu\":{\"compute_s\":%.6f,\"merge_s\":%.6f,"
+                  "\"commit_s\":%.6f,\"idle_s\":%.6f}",
+                  i == 0 ? "" : ",", threads, stages.compute, stages.merge,
+                  stages.commit, stages.idle);
+    meta += entry;
+  }
+  meta += "}}";
+  bench::write_metrics_json(out_path, {{"scaling", &reg}}, meta);
   std::printf("# wrote %s\n", out_path.c_str());
+
+  bench::maybe_export_span_trace(
+      flags, "bench_scaling",
+      {{"seed", std::to_string(flags.u64("seed"))},
+       {"schedules", std::to_string(seeds.size())}});
 
   if (!all_identical) {
     std::fprintf(stderr,

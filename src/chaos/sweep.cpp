@@ -5,6 +5,7 @@
 #include <set>
 
 #include "exec/parallel.hpp"
+#include "obs/span.hpp"
 
 namespace dragon::chaos {
 
@@ -62,8 +63,14 @@ ScheduleOutcome run_schedule(const SweepSpec& spec, std::uint64_t seed,
   config.seed = seed;
   engine::Simulator sim(*spec.topo, *spec.alg, std::move(config));
   if (tracer != nullptr) sim.set_tracer(tracer);
-  for (const auto& o : spec.origins) sim.originate(o.prefix, o.origin, o.attr);
-  auto run = run_to_quiescence(sim, spec.limits, tracer);
+  chaos::WatchdogResult run;
+  {
+    DRAGON_SPAN("chaos", "bring_up");
+    for (const auto& o : spec.origins) {
+      sim.originate(o.prefix, o.origin, o.attr);
+    }
+    run = run_to_quiescence(sim, spec.limits, tracer);
+  }
   if (!run.quiescent) {
     out.diagnostics = "initial convergence stalled\n" + run.diagnostics;
     return out;
@@ -103,7 +110,10 @@ ScheduleOutcome run_schedule(const SweepSpec& spec, std::uint64_t seed,
       }
     }
   }
-  run = run_to_quiescence(sim, spec.limits, tracer);
+  {
+    DRAGON_SPAN_ARG("chaos", "replay", "actions", plan.actions.size());
+    run = run_to_quiescence(sim, spec.limits, tracer);
+  }
   out.quiescent = run.quiescent;
   out.end_time = run.end_time;
   if (!run.quiescent) {
@@ -116,6 +126,7 @@ ScheduleOutcome run_schedule(const SweepSpec& spec, std::uint64_t seed,
     return out;
   }
 
+  DRAGON_SPAN("chaos", "audit");
   if (spec.check_invariants) {
     const auto report = check_invariants(sim, spec.invariants);
     out.invariants_ok = report.ok();

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/profile.hpp"
+#include "obs/span.hpp"
 #include "util/log.hpp"
 
 namespace dragon::engine {
@@ -412,6 +413,9 @@ std::size_t Simulator::run_until_quiescent(Time max_time) {
 
 Simulator::RunResult Simulator::run_bounded(Time max_time,
                                             std::size_t max_events) {
+  // Coarse phase span: one event-drain pass (a convergence run or a
+  // watchdog slice); the events argument is filled in at the end.
+  DRAGON_SPAN_NAMED(drain_span, "engine", "drain", "events");
   RunResult result;
   while (!queue_.empty() && queue_.next_time() <= max_time &&
          result.events < max_events) {
@@ -428,6 +432,7 @@ Simulator::RunResult Simulator::run_bounded(Time max_time,
   }
   if (timeline_ != nullptr) timeline_->push(timeline_sample(queue_.now()));
   result.quiescent = queue_.empty();
+  drain_span.set_arg(0, result.events);
   return result;
 }
 
@@ -585,6 +590,7 @@ namespace {
 }  // namespace
 
 std::shared_ptr<const Simulator::Snapshot> Simulator::snapshot() const {
+  DRAGON_SPAN("engine", "snapshot");
   if (!queue_.empty()) {
     throw_not_quiescent("snapshot", queue_.size(), queue_.now());
   }
@@ -610,6 +616,7 @@ void Simulator::restore(const std::shared_ptr<const Snapshot>& snap) {
 }
 
 void Simulator::restore(const Snapshot& snap) {
+  DRAGON_SPAN("engine", "restore");
   if (!queue_.empty()) {
     throw_not_quiescent("restore", queue_.size(), queue_.now());
   }

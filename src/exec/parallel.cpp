@@ -4,6 +4,8 @@
 #include <exception>
 #include <memory>
 
+#include "obs/span.hpp"
+
 namespace dragon::exec {
 
 std::vector<std::pair<std::size_t, std::size_t>> static_chunks(
@@ -38,13 +40,18 @@ void parallel_for(ThreadPool* pool, std::size_t n,
       opts.metrics_sink != nullptr ? ranges.size() : 0);
 
   const auto run_chunk = [&](std::size_t c) {
+    DRAGON_SPAN_ARG3("exec", "chunk", "chunk", c, "begin", ranges[c].first,
+                     "items", ranges[c].second - ranges[c].first);
     TaskContext ctx;
     ctx.chunk = c;
-    ctx.rng = base.fork_stream(c);
-    if (opts.metrics_sink != nullptr) {
-      shards[c] = std::make_unique<obs::MetricsRegistry>();
-      shards[c]->bind_writer();
-      ctx.metrics = shards[c].get();
+    {
+      DRAGON_SPAN("exec", "fork_setup");
+      ctx.rng = base.fork_stream(c);
+      if (opts.metrics_sink != nullptr) {
+        shards[c] = std::make_unique<obs::MetricsRegistry>();
+        shards[c]->bind_writer();
+        ctx.metrics = shards[c].get();
+      }
     }
     for (std::size_t i = ranges[c].first; i < ranges[c].second; ++i) {
       body(i, ctx);
@@ -61,7 +68,10 @@ void parallel_for(ThreadPool* pool, std::size_t n,
     }
     // Collect every chunk before rethrowing, so no task is left touching
     // stack-allocated state; the lowest-indexed failure wins (stable
-    // error reporting across thread counts).
+    // error reporting across thread counts).  The commit_wait span is the
+    // calling thread blocked on the ordered join — the serial tail every
+    // chunk imbalance shows up in.
+    DRAGON_SPAN_ARG("exec", "commit_wait", "chunks", ranges.size());
     std::exception_ptr first_error;
     for (auto& future : futures) {
       try {
@@ -74,6 +84,7 @@ void parallel_for(ThreadPool* pool, std::size_t n,
   }
 
   if (opts.metrics_sink != nullptr) {
+    DRAGON_SPAN_ARG("exec", "shard_merge", "shards", shards.size());
     for (auto& shard : shards) {
       shard->release_writer();
       opts.metrics_sink->merge_from(*shard);

@@ -1,7 +1,10 @@
 #include "exec/thread_pool.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "obs/span.hpp"
 
 namespace dragon::exec {
 
@@ -9,7 +12,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = default_thread_count();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -47,18 +50,31 @@ void ThreadPool::shutdown() {
   workers_.clear();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop([[maybe_unused]] std::size_t index) {
+#if DRAGON_TRACE
+  // Named buffer for the trace export; no-op (and no allocation) unless
+  // span recording was enabled before the pool spawned.
+  obs::span_set_thread_name("pool.worker-" + std::to_string(index));
+#endif
   for (;;) {
     std::packaged_task<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      {
+        // The idle span covers the whole wait for work (the mutex is
+        // released inside cv_.wait), so per-thread idle time is directly
+        // attributable in the trace.
+        DRAGON_SPAN("pool", "idle");
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      }
       // Graceful drain: stopping_ alone does not end the loop while queued
       // work remains — shutdown() promises every accepted task runs.
       if (queue_.empty()) return;
+      DRAGON_SPAN("pool", "dequeue");
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    DRAGON_SPAN("pool", "task");
     task();  // exceptions land in the task's shared state, not the worker
   }
 }

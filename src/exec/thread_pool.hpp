@@ -47,7 +47,7 @@ class ThreadPool {
   [[nodiscard]] static std::size_t default_thread_count() noexcept;
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/metrics.hpp"
+
 namespace dragon::obs {
 
 const char* to_string(EventKind kind) noexcept {
@@ -168,8 +170,15 @@ void EventTracer::note(const std::string& json_line) {
   std::fputc('\n', sink_);
 }
 
+void EventTracer::export_metrics(MetricsRegistry& registry) const {
+  registry.counter("dragon.obs.trace.recorded")->set(recorded_);
+  registry.counter("dragon.obs.trace.dropped")->set(dropped_);
+  registry.counter("dragon.obs.trace.flushes")->set(flushes_);
+}
+
 void EventTracer::flush() {
   if (sink_ == nullptr) return;
+  if (size_ > 0) ++flushes_;
   for_each([this](const TraceRecord& rec) {
     const std::string line = rec.to_json();
     std::fwrite(line.data(), 1, line.size(), sink_);

@@ -45,6 +45,8 @@
 
 namespace dragon::obs {
 
+class MetricsRegistry;
+
 enum class EventKind : std::uint8_t {
   kAnnounce,      // update put on the wire
   kWithdraw,      // withdrawal put on the wire
@@ -137,6 +139,15 @@ class EventTracer {
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
   /// Total records ever recorded.
   [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+  /// Ring drains that wrote at least one record to the sink (explicit
+  /// flush() calls and the automatic full-ring flushes alike).
+  [[nodiscard]] std::uint64_t flushes() const noexcept { return flushes_; }
+
+  /// Publishes the tracer's loss accounting as registry counters —
+  /// dragon.obs.trace.{recorded,dropped,flushes} — so silent ring-wrap
+  /// loss shows up in --metrics-json artifacts next to the protocol
+  /// counters instead of only on stderr.
+  void export_metrics(MetricsRegistry& registry) const;
 
   /// Visits buffered records oldest-first.
   void for_each(const std::function<void(const TraceRecord&)>& fn) const;
@@ -149,6 +160,7 @@ class EventTracer {
   std::size_t size_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t recorded_ = 0;
+  std::uint64_t flushes_ = 0;
   std::FILE* sink_ = nullptr;
 };
 

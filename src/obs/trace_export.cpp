@@ -1,0 +1,134 @@
+#include "obs/trace_export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "obs/span.hpp"
+
+namespace dragon::obs {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes);
+/// categories and span names are literals, but thread names and
+/// otherData values are program-built.
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Emits one trace document via `sink(text)`.  Shared by the string and
+/// file front ends so the formats can never diverge.
+template <typename Sink>
+void emit_trace(const TraceExportOptions& options, Sink&& sink) {
+  const auto threads = span_collect();
+
+  sink("{\"traceEvents\":[\n");
+  char buf[256];
+  bool first = true;
+  const auto emit = [&](const std::string& line) {
+    if (!first) sink(",\n");
+    first = false;
+    sink(line);
+  };
+
+  // Metadata rows: one process name, then a name + sort row per thread
+  // (sorted by registration order, which puts main above the workers).
+  emit("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+       "\"args\":{\"name\":\"" +
+       json_escape(options.process_name) + "\"}}");
+  for (const ThreadSpans& thread : threads) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+                  "\"name\":\"thread_name\",\"args\":{\"name\":\"",
+                  thread.tid);
+    emit(buf + json_escape(thread.thread_name) + "\"}}");
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+                  "\"name\":\"thread_sort_index\","
+                  "\"args\":{\"sort_index\":%u}}",
+                  thread.tid, thread.tid);
+    emit(buf);
+  }
+
+  for (const ThreadSpans& thread : threads) {
+    for (const SpanRecord& rec : thread.records) {
+      // Microseconds with three decimals: full steady-clock resolution.
+      std::snprintf(buf, sizeof buf,
+                    "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"cat\":\"%s\",\"name\":\"%s\"",
+                    thread.tid, static_cast<double>(rec.start_ns) / 1e3,
+                    static_cast<double>(rec.dur_ns) / 1e3, rec.site->category,
+                    rec.site->name);
+      std::string line = buf;
+      bool has_args = false;
+      for (std::size_t i = 0; i < 3; ++i) {
+        if (rec.site->arg_keys[i] == nullptr) continue;
+        std::snprintf(buf, sizeof buf, "%s\"%s\":%" PRIu64,
+                      has_args ? "," : ",\"args\":{", rec.site->arg_keys[i],
+                      rec.args[i]);
+        line += buf;
+        has_args = true;
+      }
+      line += has_args ? "}}" : "}";
+      emit(line);
+    }
+  }
+
+  sink("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"steady\"");
+  std::uint64_t dropped_total = 0;
+  for (const ThreadSpans& thread : threads) {
+    dropped_total += thread.dropped;
+    if (thread.dropped == 0) continue;
+    std::snprintf(buf, sizeof buf, ",\"dropped.%u\":\"%" PRIu64 "\"",
+                  thread.tid, thread.dropped);
+    sink(buf);
+  }
+  std::snprintf(buf, sizeof buf, ",\"dropped.total\":\"%" PRIu64 "\"",
+                dropped_total);
+  sink(buf);
+  for (const auto& [key, value] : options.other_data) {
+    sink(",\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"");
+  }
+  sink("}}\n");
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceExportOptions& options) {
+  std::string out;
+  emit_trace(options, [&out](const std::string& text) { out += text; });
+  return out;
+}
+
+bool export_chrome_trace(const std::string& path,
+                         const TraceExportOptions& options) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  emit_trace(options, [f](const std::string& text) {
+    std::fwrite(text.data(), 1, text.size(), f);
+  });
+  return std::fclose(f) == 0;
+}
+
+}  // namespace dragon::obs

@@ -1,0 +1,55 @@
+// Chrome trace-event export for the span profiler (obs/span.hpp).
+//
+// Merges every registered per-thread span buffer into one JSON document
+// in the Chrome trace-event format ("JSON Object Format"), loadable in
+// chrome://tracing and Perfetto (ui.perfetto.dev):
+//
+//   {"traceEvents":[
+//      {"ph":"M","pid":1,"tid":0,"name":"process_name",
+//       "args":{"name":"bench_scaling"}},
+//      {"ph":"M","pid":1,"tid":3,"name":"thread_name",
+//       "args":{"name":"pool.worker-2"}},
+//      {"ph":"X","pid":1,"tid":3,"ts":1234.567,"dur":89.012,
+//       "cat":"exec","name":"chunk","args":{"chunk":5,"begin":40,
+//       "items":8}},
+//      ...],
+//    "displayTimeUnit":"ms",
+//    "otherData":{"clock":"steady","dropped.total":"0",...}}
+//
+// Complete events ("ph":"X") carry microsecond timestamps relative to
+// the span epoch with nanosecond precision (three decimals).  Per-thread
+// ring-wrap losses are reported in otherData (dropped.<thread> plus a
+// dropped.total) so silent truncation is visible in the artifact itself;
+// tools/trace_report.py surfaces them when attributing time.
+//
+// Reader contract: same as span_collect() — export only while the
+// instrumented threads are quiescent or joined (the benches export after
+// destroying their pools).  See DESIGN.md §11.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dragon::obs {
+
+struct TraceExportOptions {
+  /// Rendered as the process_name metadata row.
+  std::string process_name = "dragon";
+  /// Extra key/value pairs copied verbatim into "otherData" (values are
+  /// written as JSON strings; benches stamp bench name and seed here so
+  /// the trace replays from the file alone).
+  std::vector<std::pair<std::string, std::string>> other_data;
+};
+
+/// The merged trace as one JSON document (tests; small traces).
+[[nodiscard]] std::string chrome_trace_json(
+    const TraceExportOptions& options = {});
+
+/// Streams the merged trace to `path` (truncates).  Returns false on I/O
+/// failure.  Avoids materialising the document in memory, so full bench
+/// traces export in O(largest buffer).
+bool export_chrome_trace(const std::string& path,
+                         const TraceExportOptions& options = {});
+
+}  // namespace dragon::obs
