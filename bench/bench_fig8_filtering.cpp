@@ -60,14 +60,14 @@ std::vector<fibcomp::Fib> build_fibs(
     const auto& indices = by_origin[origin];
     for (std::size_t s = 0; s < sample.size(); ++s) {
       const NodeId u = sample[s];
-      const NodeId next = u == origin
-                              ? fibcomp::kLocal
-                              : routecomp::best_forwarding_neighbor(
-                                    topo, sweep, u);
+      fibcomp::NextHop next = fibcomp::kLocal;
+      if (u != origin) {
+        const NodeId fwd = routecomp::best_forwarding_neighbor(topo, sweep, u);
+        next = fwd == routecomp::kNoNeighbor ? fibcomp::kDrop
+                                             : fibcomp::next_hop_from_node(fwd);
+      }
       for (std::size_t i : indices) {
-        fibs[s].push_back({assignment.prefixes[i],
-                           next == routecomp::kNoNeighbor ? fibcomp::kDrop
-                                                          : next});
+        fibs[s].push_back({assignment.prefixes[i], next});
       }
     }
   }
@@ -80,7 +80,9 @@ std::vector<fibcomp::Fib> build_fibs(
         fibcomp::NextHop next = fibcomp::kLocal;
         if (!sweep.is_origin(u)) {
           const auto fwd = routecomp::best_forwarding_neighbor(topo, sweep, u);
-          next = fwd == routecomp::kNoNeighbor ? fibcomp::kDrop : fwd;
+          next = fwd == routecomp::kNoNeighbor
+                     ? fibcomp::kDrop
+                     : fibcomp::next_hop_from_node(fwd);
         }
         fibs[s].push_back({agg.aggregate, next});
       }

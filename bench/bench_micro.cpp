@@ -21,6 +21,8 @@
 #include "algebra/gr_path_algebra.hpp"
 #include "bench_common.hpp"
 #include "chaos/watchdog.hpp"
+#include "dataplane/lookup_server.hpp"
+#include "dataplane/lpm_table.hpp"
 #include "engine/rib.hpp"
 #include "engine/simulator.hpp"
 #include "fibcomp/ortc.hpp"
@@ -254,6 +256,57 @@ void BM_OrtcCompress(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_OrtcCompress)->Arg(10000)->Arg(50000);
+
+// Compiled-LPM serving: one lookup against a DIR-24-8-style LpmTable
+// (top_bits=16, the bench_dataplane default).  Arg pair is
+// {fib entries, mix} with mix 0 = uniform over prefixes, 1 = Zipf-skewed
+// with 5% whole-address-space misses — the two traffic shapes
+// bench_dataplane serves at scale.
+void BM_DataplaneLookup(benchmark::State& state) {
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), 21);
+  fibcomp::Fib fib;
+  fib.reserve(prefixes.size());
+  util::Rng hop_rng(22);
+  for (const auto& p : prefixes) {
+    fib.push_back({p, static_cast<fibcomp::NextHop>(hop_rng.below(64))});
+  }
+  const auto table = dataplane::LpmTable::compile(fib, {/*top_bits=*/16});
+  dataplane::QueryMix mix;
+  if (state.range(1) != 0) {
+    mix.kind = dataplane::QueryMix::Kind::kZipf;
+    mix.zipf_s = 1.0;
+    mix.miss_fraction = 0.05;
+  }
+  const dataplane::QueryGen gen(fib, mix);
+  util::Rng rng(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(gen.draw(rng)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DataplaneLookup)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 1});
+
+// FIB -> LpmTable compilation (the control-plane cost of a hot-swap).
+void BM_FibCompile(benchmark::State& state) {
+  const auto prefixes =
+      random_prefixes(static_cast<std::size_t>(state.range(0)), 24);
+  fibcomp::Fib fib;
+  fib.reserve(prefixes.size());
+  util::Rng hop_rng(25);
+  for (const auto& p : prefixes) {
+    fib.push_back({p, static_cast<fibcomp::NextHop>(hop_rng.below(64))});
+  }
+  for (auto _ : state) {
+    const auto table = dataplane::LpmTable::compile(fib, {/*top_bits=*/16});
+    benchmark::DoNotOptimize(table.stats().table_bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FibCompile)->Arg(1000)->Arg(10000);
 
 void BM_EngineConvergence(benchmark::State& state) {
   topology::GeneratorParams params;

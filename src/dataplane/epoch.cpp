@@ -1,0 +1,37 @@
+#include "dataplane/epoch.hpp"
+
+namespace dragon::dataplane {
+
+EpochDomain::EpochDomain(std::size_t max_readers) : slots_(max_readers) {
+  if (max_readers == 0) {
+    throw std::invalid_argument("EpochDomain needs at least one reader slot");
+  }
+}
+
+EpochDomain::ReaderId EpochDomain::acquire_reader() {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    bool expected = false;
+    if (slots_[i].used.compare_exchange_strong(expected, true,
+                                               std::memory_order_seq_cst)) {
+      return i;
+    }
+  }
+  throw std::runtime_error("EpochDomain: all reader slots in use");
+}
+
+void EpochDomain::release_reader(ReaderId id) noexcept {
+  slots_[id].pinned.store(kQuiescent, std::memory_order_seq_cst);
+  slots_[id].used.store(false, std::memory_order_seq_cst);
+}
+
+std::uint64_t EpochDomain::min_pinned() const noexcept {
+  std::uint64_t min = UINT64_MAX;
+  for (const Slot& s : slots_) {
+    if (!s.used.load(std::memory_order_seq_cst)) continue;
+    const std::uint64_t p = s.pinned.load(std::memory_order_seq_cst);
+    if (p != kQuiescent && p < min) min = p;
+  }
+  return min;
+}
+
+}  // namespace dragon::dataplane

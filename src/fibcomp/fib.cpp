@@ -1,11 +1,38 @@
 #include "fibcomp/fib.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <stdexcept>
 
 namespace dragon::fibcomp {
 
 using prefix::Address;
 using prefix::Prefix;
+
+NextHop next_hop_from_node(std::uint64_t node_id) {
+  if (node_id >= kSentinelBase) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "node id 0x%llx collides with the NextHop sentinel range "
+                  "[0x%08x, 0xffffffff]",
+                  static_cast<unsigned long long>(node_id), kSentinelBase);
+    throw std::invalid_argument(buf);
+  }
+  return static_cast<NextHop>(node_id);
+}
+
+void check_fib_next_hops(const Fib& fib) {
+  for (const FibEntry& e : fib) {
+    if (is_sentinel(e.next_hop) && !is_defined_sentinel(e.next_hop)) {
+      char buf[112];
+      std::snprintf(buf, sizeof buf,
+                    "FIB entry %s has next hop 0x%08x inside the reserved "
+                    "sentinel range but it is not a defined sentinel",
+                    e.prefix.to_cidr().c_str(), e.next_hop);
+      throw std::invalid_argument(buf);
+    }
+  }
+}
 
 NextHop lookup(const prefix::PrefixTrie<NextHop>& trie, Address addr) {
   const auto hit = trie.lookup(addr);
@@ -13,6 +40,7 @@ NextHop lookup(const prefix::PrefixTrie<NextHop>& trie, Address addr) {
 }
 
 prefix::PrefixTrie<NextHop> build_trie(const Fib& fib) {
+  check_fib_next_hops(fib);
   prefix::PrefixTrie<NextHop> trie;
   for (const FibEntry& e : fib) trie.insert(e.prefix, e.next_hop);
   return trie;

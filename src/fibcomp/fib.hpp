@@ -20,6 +20,31 @@ using NextHop = std::uint32_t;
 inline constexpr NextHop kDrop = 0xFFFFFFFFu;
 inline constexpr NextHop kLocal = 0xFFFFFFFEu;
 
+/// The top 256 u32 values are reserved for sentinels (currently kDrop and
+/// kLocal; the rest of the range is headroom for future ones).  Real next
+/// hops — forwarding neighbour node ids — must stay below this base, or a
+/// node id would be indistinguishable from a sentinel.
+inline constexpr NextHop kSentinelBase = 0xFFFFFF00u;
+
+/// True for kDrop/kLocal and any future value in the reserved range.
+[[nodiscard]] constexpr bool is_sentinel(NextHop nh) noexcept {
+  return nh >= kSentinelBase;
+}
+
+/// True for the sentinel values that are actually defined today.  A value
+/// inside the reserved range that is not a defined sentinel is a bug — a
+/// node id collided with the sentinel space (see next_hop_from_node).
+[[nodiscard]] constexpr bool is_defined_sentinel(NextHop nh) noexcept {
+  return nh == kDrop || nh == kLocal;
+}
+
+/// Checked conversion from a node id to a NextHop.  Throws
+/// std::invalid_argument when the id lands in the reserved sentinel range
+/// — the guard every "neighbour id becomes a forwarding entry" site must
+/// go through, so a colliding id fails loudly at FIB construction instead
+/// of silently forwarding to "drop" or "local".
+[[nodiscard]] NextHop next_hop_from_node(std::uint64_t node_id);
+
 struct FibEntry {
   prefix::Prefix prefix;
   NextHop next_hop;
@@ -32,8 +57,15 @@ using Fib = std::vector<FibEntry>;
 [[nodiscard]] NextHop lookup(const prefix::PrefixTrie<NextHop>& trie,
                              prefix::Address addr);
 
-/// Builds the lookup trie of a FIB.
+/// Builds the lookup trie of a FIB.  Throws std::invalid_argument when an
+/// entry's next hop sits in the reserved sentinel range without being a
+/// defined sentinel (a node id collided with the sentinel space).
 [[nodiscard]] prefix::PrefixTrie<NextHop> build_trie(const Fib& fib);
+
+/// The shared sentinel-hazard check of build_trie and the data-plane
+/// compiler (src/dataplane/): throws std::invalid_argument on a reserved
+/// but undefined next-hop value.
+void check_fib_next_hops(const Fib& fib);
 
 /// True if the two FIBs forward every address identically.  Exact: checks
 /// the first address of every prefix appearing in either table plus the

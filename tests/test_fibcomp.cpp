@@ -22,6 +22,28 @@ TEST(Fib, LookupIsLongestPrefixMatch) {
   EXPECT_EQ(lookup(trie, 0b01000000u << 24), kDrop);
 }
 
+TEST(Fib, NextHopFromNodeRejectsSentinelCollisions) {
+  EXPECT_EQ(next_hop_from_node(0), 0u);
+  EXPECT_EQ(next_hop_from_node(kSentinelBase - 1), kSentinelBase - 1);
+  EXPECT_THROW((void)next_hop_from_node(kSentinelBase), std::invalid_argument);
+  EXPECT_THROW((void)next_hop_from_node(kDrop), std::invalid_argument);
+  EXPECT_THROW((void)next_hop_from_node(kLocal), std::invalid_argument);
+  EXPECT_THROW((void)next_hop_from_node(0x1'00000000ull),
+               std::invalid_argument);
+}
+
+TEST(Fib, BuildTrieRejectsUndefinedSentinels) {
+  // kDrop/kLocal are legitimate FIB entries; anything else in the
+  // reserved range is a node id that silently collided — reject loudly.
+  const Fib ok{{bp("1"), kDrop}, {bp("10"), kLocal}, {bp("11"), 7}};
+  EXPECT_NO_THROW((void)build_trie(ok));
+  const Fib bad{{bp("1"), kSentinelBase}};
+  EXPECT_THROW((void)build_trie(bad), std::invalid_argument);
+  EXPECT_THROW(check_fib_next_hops(bad), std::invalid_argument);
+  const Fib bad2{{bp("1"), kLocal - 1}};
+  EXPECT_THROW((void)build_trie(bad2), std::invalid_argument);
+}
+
 TEST(Fib, ForwardingEquivalence) {
   const Fib a{{bp("1"), 1}, {bp("10"), 1}};
   const Fib b{{bp("1"), 1}};
