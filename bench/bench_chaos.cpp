@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -30,6 +31,7 @@
 #include "chaos/fault_plan.hpp"
 #include "chaos/invariants.hpp"
 #include "chaos/oracle.hpp"
+#include "chaos/scenario.hpp"
 #include "chaos/sweep.hpp"
 #include "chaos/watchdog.hpp"
 #include "engine/simulator.hpp"
@@ -89,6 +91,159 @@ std::vector<std::size_t> parse_bursts(const std::string& spec) {
   return out;
 }
 
+// --scenario mode: the adversarial scenario engine (chaos/scenario.hpp)
+// replaces the burst sweep.  Each semicolon-separated spec runs over
+// --schedules seeds; any per-seed failure (misclassified divergence,
+// blast-radius inversion, invariant violation) prints the seed and the
+// replay plan JSON and exits non-zero.  On top of the per-seed checks,
+// the hijack family's blast radii are summed across the whole sweep and
+// DRAGON must come out strictly smaller than plain BGP.
+int run_scenario_mode(const util::Flags& flags,
+                      const std::vector<chaos::ScenarioSpec>& specs,
+                      const std::string& scenario_text) {
+  auto pool = bench::make_thread_pool(flags);
+  const std::size_t threads = pool != nullptr ? pool->size() : 1;
+  obs::MetricsRegistry bench_metrics;
+
+  struct SpecRow {
+    std::string spec;
+    std::size_t seeds = 0;
+    std::size_t passed = 0;
+    std::size_t converged = 0;
+    std::size_t oscillating = 0;
+    std::size_t livelock = 0;
+    std::size_t blast_dragon = 0;
+    std::size_t blast_bgp = 0;
+    std::uint64_t suppressions = 0;
+    std::vector<double> updates;
+    std::vector<double> recovery;
+  };
+  std::vector<SpecRow> rows;
+
+  // Seeds fork off the master stream once per spec, so appending specs to
+  // the list never perturbs the earlier sweeps (same discipline as the
+  // burst loop below).
+  util::Rng seed_master(flags.u64("seed"));
+  std::size_t hijack_dragon = 0, hijack_bgp = 0;
+  bool saw_hijack = false;
+
+  for (const auto& spec : specs) {
+    util::Rng spec_rng = seed_master.fork();
+    std::vector<std::uint64_t> seeds(flags.u64("schedules"));
+    for (auto& s : seeds) s = spec_rng();
+
+    DRAGON_SPAN_ARG("bench", "scenario", "family",
+                    static_cast<std::size_t>(spec.family));
+    const auto outcomes = chaos::run_scenario_sweep(spec, seeds, pool.get());
+
+    SpecRow row;
+    row.spec = spec.to_string();
+    row.seeds = outcomes.size();
+    const char* family = chaos::to_string(spec.family);
+    for (const auto& out : outcomes) {
+      if (!out.ok) {
+        std::fprintf(stderr,
+                     "SCENARIO VIOLATION\n  spec=%s seed=%llu\n%s\n"
+                     "  replay plan: %s\n",
+                     row.spec.c_str(),
+                     static_cast<unsigned long long>(out.seed),
+                     out.diagnostics.c_str(),
+                     out.plan_json.empty() ? "(none)" : out.plan_json.c_str());
+        return 1;
+      }
+      ++row.passed;
+      switch (out.classification) {
+        case chaos::Quiescence::kConverged: ++row.converged; break;
+        case chaos::Quiescence::kOscillating: ++row.oscillating; break;
+        case chaos::Quiescence::kLivelock: ++row.livelock; break;
+      }
+      row.blast_dragon += out.blast_dragon.affected;
+      row.blast_bgp += out.blast_bgp.affected;
+      row.suppressions += out.suppressions;
+      const std::uint64_t updates =
+          out.updates != 0 ? out.updates
+                           : out.updates_damped + out.updates_undamped;
+      row.updates.push_back(static_cast<double>(updates));
+      row.recovery.push_back(out.recovery);
+    }
+    if (spec.family == chaos::ScenarioFamily::kHijack) {
+      saw_hijack = true;
+      hijack_dragon += row.blast_dragon;
+      hijack_bgp += row.blast_bgp;
+    }
+
+    // Coverage counters (gated by tools/bench_gate.py --coverage-prefix:
+    // a refreshed artifact may never report fewer runs or passes per
+    // family than the committed baseline) plus blast/update gauges for
+    // the regression ratios.
+    char name[96];
+    std::snprintf(name, sizeof name, "dragon.chaos.scenario.%s.runs", family);
+    bench_metrics.counter(name)->inc(row.seeds);
+    std::snprintf(name, sizeof name, "dragon.chaos.scenario.%s.passed", family);
+    bench_metrics.counter(name)->inc(row.passed);
+    std::snprintf(name, sizeof name, "dragon.chaos.scenario.%s.oscillating",
+                  family);
+    bench_metrics.counter(name)->inc(row.oscillating);
+    std::snprintf(name, sizeof name, "dragon.chaos.scenario.%s.converged",
+                  family);
+    bench_metrics.counter(name)->inc(row.converged);
+    std::snprintf(name, sizeof name, "dragon.chaos.scenario.%s.blast_dragon",
+                  family);
+    bench_metrics.gauge(name)->add(static_cast<double>(row.blast_dragon));
+    std::snprintf(name, sizeof name, "dragon.chaos.scenario.%s.blast_bgp",
+                  family);
+    bench_metrics.gauge(name)->add(static_cast<double>(row.blast_bgp));
+    std::snprintf(name, sizeof name, "dragon.chaos.scenario.%s.suppressions",
+                  family);
+    bench_metrics.gauge(name)->add(static_cast<double>(row.suppressions));
+    double updates_total = 0.0;
+    for (const double u : row.updates) updates_total += u;
+    std::snprintf(name, sizeof name, "dragon.chaos.scenario.%s.updates",
+                  family);
+    bench_metrics.gauge(name)->add(updates_total);
+    rows.push_back(std::move(row));
+  }
+
+  if (saw_hijack && hijack_dragon >= hijack_bgp) {
+    std::fprintf(stderr,
+                 "SCENARIO VIOLATION\n  hijack sweep: DRAGON blast radius "
+                 "(%zu) not strictly smaller than plain BGP (%zu)\n",
+                 hijack_dragon, hijack_bgp);
+    return 1;
+  }
+
+  stats::Table table({"scenario", "seeds", "passed", "conv/osc/live",
+                      "blast dragon/bgp", "suppress", "updates p50",
+                      "recovery p90 (s)"});
+  for (const auto& row : rows) {
+    table.add_row(
+        {row.spec, std::to_string(row.seeds), std::to_string(row.passed),
+         std::to_string(row.converged) + "/" + std::to_string(row.oscillating) +
+             "/" + std::to_string(row.livelock),
+         std::to_string(row.blast_dragon) + "/" +
+             std::to_string(row.blast_bgp),
+         std::to_string(row.suppressions),
+         stats::format_number(stats::percentile(row.updates, 0.5)),
+         stats::format_number(stats::percentile(row.recovery, 0.9))});
+  }
+  table.print();
+
+  if (!flags.str("metrics-json").empty()) {
+    bench::write_metrics_json(flags.str("metrics-json"),
+                              {{"bench", &bench_metrics}},
+                              bench::run_meta_json("bench_chaos",
+                                                   flags.u64("seed"), threads,
+                                                   scenario_text));
+  }
+  pool.reset();  // exporting spans requires the workers joined
+  bench::maybe_export_span_trace(
+      flags, "bench_chaos",
+      {{"seed", std::to_string(flags.u64("seed"))},
+       {"scenario", scenario_text}});
+  std::puts("# all scenario sweeps passed their family checks");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -129,9 +284,41 @@ int main(int argc, char** argv) {
                "oracle compares raw attributes (exact for GR algebras)");
   flags.define("trace-file", "",
                "write the structured event trace (JSONL) here");
+  flags.define("scenario", "",
+               "run the adversarial scenario engine instead of the burst "
+               "sweep: semicolon-separated family specs, e.g. "
+               "'divergence:variant=bad,ring=3;hijack:events=2'");
   if (!flags.parse(argc, argv)) return 1;
   flags.print_config("bench_chaos");
   bench::apply_obs_flags(flags);
+
+  if (const std::string scenario_text = flags.str("scenario");
+      !scenario_text.empty()) {
+    // Split on ';' and parse each family spec before running anything, so
+    // a typo anywhere in the list fails fast.
+    std::vector<chaos::ScenarioSpec> specs;
+    std::size_t start = 0;
+    while (start <= scenario_text.size()) {
+      std::size_t end = scenario_text.find(';', start);
+      if (end == std::string::npos) end = scenario_text.size();
+      const std::string_view part(scenario_text.data() + start, end - start);
+      if (!part.empty()) {
+        const auto spec = chaos::ScenarioSpec::parse(part);
+        if (!spec.has_value()) {
+          std::fprintf(stderr, "bad --scenario spec: %.*s\n",
+                       static_cast<int>(part.size()), part.data());
+          return 1;
+        }
+        specs.push_back(*spec);
+      }
+      start = end + 1;
+    }
+    if (specs.empty()) {
+      std::fprintf(stderr, "--scenario lists no specs\n");
+      return 1;
+    }
+    return run_scenario_mode(flags, specs, scenario_text);
+  }
 
   const auto bursts = parse_bursts(flags.str("bursts"));
   if (bursts.empty()) {

@@ -141,13 +141,25 @@ inline void maybe_export_span_trace(
 /// The reproducibility header benches prepend to their JSON artifacts:
 /// harness name, master seed, and worker-thread count, so every dump
 /// replays from the file alone (threads never changes the numbers — the
-/// runtime is deterministic — but it explains the wall-clock).
+/// runtime is deterministic — but it explains the wall-clock).  A
+/// non-empty `scenario` (the adversarial-scenario spec string) is stamped
+/// in as well, so scenario artifacts identify the family that produced
+/// them.
 inline std::string run_meta_json(const char* bench_name, std::uint64_t seed,
-                                 std::size_t threads = 1) {
-  char buf[160];
-  std::snprintf(buf, sizeof buf,
-                "{\"bench\":\"%s\",\"seed\":%llu,\"threads\":%zu}", bench_name,
-                static_cast<unsigned long long>(seed), threads);
+                                 std::size_t threads = 1,
+                                 const std::string& scenario = {}) {
+  char buf[320];
+  if (scenario.empty()) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"bench\":\"%s\",\"seed\":%llu,\"threads\":%zu}",
+                  bench_name, static_cast<unsigned long long>(seed), threads);
+  } else {
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"bench\":\"%s\",\"seed\":%llu,\"threads\":%zu,\"scenario\":\"%s\"}",
+        bench_name, static_cast<unsigned long long>(seed), threads,
+        scenario.c_str());
+  }
   return buf;
 }
 

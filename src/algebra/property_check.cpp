@@ -24,6 +24,30 @@ bool is_isotone(const Algebra& algebra) {
   return !find_isotonicity_violation(algebra).has_value();
 }
 
+std::optional<IncreaseViolation> find_increase_violation(const Algebra& algebra,
+                                                         bool strict) {
+  for (LabelId l : algebra.label_support()) {
+    for (Attr a : algebra.attribute_support()) {
+      if (a == kUnreachable) continue;
+      const Attr ea = algebra.extend(l, a);
+      if (ea == kUnreachable) continue;  // vacuous: nothing crosses the arc
+      const bool violates =
+          strict ? algebra.prefer_eq(ea, a) : algebra.prefer(ea, a);
+      if (violates) return IncreaseViolation{l, a, ea};
+    }
+  }
+  return std::nullopt;
+}
+
+ConvergenceCriteria check_convergence_criteria(const Algebra& algebra) {
+  ConvergenceCriteria c;
+  c.increasing = !find_increase_violation(algebra, false).has_value();
+  c.witness = find_increase_violation(algebra, true);
+  c.strictly_increasing = !c.witness.has_value();
+  c.isotone = is_isotone(algebra);
+  return c;
+}
+
 std::optional<std::vector<Attr>> find_absorbency_violation(
     const Algebra& algebra, const std::vector<LabelId>& cycle_labels) {
   const auto attrs = algebra.attribute_support();

@@ -34,6 +34,42 @@ struct IsotonicityViolation {
 
 [[nodiscard]] bool is_isotone(const Algebra& algebra);
 
+struct IncreaseViolation {
+  LabelId label;
+  Attr attr;      // reachable attribute ...
+  Attr extended;  // ... whose extension is preferred (strict: preferred or
+                  // equal) over attr itself
+};
+
+/// Returns a witness against the (strict) increase condition of the
+/// Daggitt-Griffin convergence criteria: every reachable extension must be
+/// strictly less preferred than the attribute it extends (strict=true), or
+/// at least not more preferred (strict=false).  Unreachable extensions are
+/// vacuously fine.
+[[nodiscard]] std::optional<IncreaseViolation> find_increase_violation(
+    const Algebra& algebra, bool strict);
+
+/// Daggitt-Griffin style convergence criteria over the finite attribute
+/// support.  A strictly increasing algebra converges from any initial
+/// state on any (finite) topology regardless of message timing, so
+/// `guarantees_convergence()` is the cross-check the divergence classifier
+/// must agree with: criteria say convergent => classifier must report
+/// kConverged.  The converse does not hold (DISAGREE-style gadgets may
+/// still converge under asynchrony).
+struct ConvergenceCriteria {
+  bool increasing = false;           // no extension improves an attribute
+  bool strictly_increasing = false;  // every reachable extension strictly worsens
+  bool isotone = false;
+  std::optional<IncreaseViolation> witness;  // against the strict condition
+
+  [[nodiscard]] bool guarantees_convergence() const {
+    return strictly_increasing;
+  }
+};
+
+[[nodiscard]] ConvergenceCriteria check_convergence_criteria(
+    const Algebra& algebra);
+
 /// Checks condition (1) on one cycle, described by the labels
 /// L[u1u0], L[u2u1], ..., L[u0u_{n-1}] in traversal order.  Exhaustive over
 /// attribute_support()^n — intended for short cycles in tests.

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <map>
 #include <set>
 
@@ -14,16 +15,28 @@ namespace dragon::chaos {
 using topology::NodeId;
 using Prefix = prefix::Prefix;
 
+namespace {
+
+/// Serialised names, indexed by FaultKind.  The static_assert is the
+/// exhaustiveness guard promised in fault_plan.hpp: adding an enumerator
+/// without a name (or a name without an enumerator) fails to compile.
+constexpr const char* kFaultKindNames[] = {
+    "link_fail",        "link_restore",    "origin_withdraw",
+    "origin_announce",  "node_crash",      "node_restart",
+    "route_leak_start", "route_leak_stop", "hijack_announce",
+    "hijack_withdraw",
+};
+static_assert(std::size(kFaultKindNames) ==
+                  static_cast<std::size_t>(FaultKind::kCount_),
+              "kFaultKindNames must name every FaultKind — update the table, "
+              "FaultAction::to_json, parse_action, and schedule_plan together");
+
+}  // namespace
+
 const char* to_string(FaultKind kind) noexcept {
-  switch (kind) {
-    case FaultKind::kLinkFail: return "link_fail";
-    case FaultKind::kLinkRestore: return "link_restore";
-    case FaultKind::kOriginWithdraw: return "origin_withdraw";
-    case FaultKind::kOriginAnnounce: return "origin_announce";
-    case FaultKind::kNodeCrash: return "node_crash";
-    case FaultKind::kNodeRestart: return "node_restart";
-  }
-  return "unknown";
+  const auto idx = static_cast<std::size_t>(kind);
+  if (idx >= std::size(kFaultKindNames)) return "unknown";
+  return kFaultKindNames[idx];
 }
 
 std::string FaultAction::to_json() const {
@@ -35,8 +48,9 @@ std::string FaultAction::to_json() const {
   if (kind == FaultKind::kLinkFail || kind == FaultKind::kLinkRestore) {
     std::snprintf(buf, sizeof(buf), ",\"a\":%u,\"b\":%u", a, b);
     out += buf;
-  } else if (kind == FaultKind::kNodeCrash ||
-             kind == FaultKind::kNodeRestart) {
+  } else if (kind == FaultKind::kNodeCrash || kind == FaultKind::kNodeRestart ||
+             kind == FaultKind::kRouteLeakStart ||
+             kind == FaultKind::kRouteLeakStop) {
     std::snprintf(buf, sizeof(buf), ",\"node\":%u", a);
     out += buf;
   } else {
@@ -143,12 +157,10 @@ struct JsonCursor {
 };
 
 bool kind_from_string(std::string_view name, FaultKind& out) {
-  for (const FaultKind k :
-       {FaultKind::kLinkFail, FaultKind::kLinkRestore,
-        FaultKind::kOriginWithdraw, FaultKind::kOriginAnnounce,
-        FaultKind::kNodeCrash, FaultKind::kNodeRestart}) {
-    if (name == to_string(k)) {
-      out = k;
+  for (std::size_t k = 0; k < static_cast<std::size_t>(FaultKind::kCount_);
+       ++k) {
+    if (name == kFaultKindNames[k]) {
+      out = static_cast<FaultKind>(k);
       return true;
     }
   }
@@ -172,10 +184,14 @@ bool parse_action(JsonCursor& c, FaultAction& act) {
       break;
     case FaultKind::kNodeCrash:
     case FaultKind::kNodeRestart:
+    case FaultKind::kRouteLeakStart:
+    case FaultKind::kRouteLeakStop:
       if (!c.lit(',') || !c.key("node") || !c.number_u32(act.a)) return false;
       break;
     case FaultKind::kOriginWithdraw:
-    case FaultKind::kOriginAnnounce: {
+    case FaultKind::kOriginAnnounce:
+    case FaultKind::kHijackAnnounce:
+    case FaultKind::kHijackWithdraw: {
       std::string bits;
       if (!c.lit(',') || !c.key("origin") || !c.number_u32(act.origin) ||
           !c.lit(',') || !c.key("attr") || !c.number_u32(act.attr) ||
@@ -187,6 +203,8 @@ bool parse_action(JsonCursor& c, FaultAction& act) {
       act.prefix = *p;
       break;
     }
+    case FaultKind::kCount_:
+      return false;
   }
   return c.lit('}');
 }
@@ -250,6 +268,35 @@ std::vector<topology::NodeId> FaultPlan::net_down_nodes() const {
   return {down.begin(), down.end()};
 }
 
+std::vector<topology::NodeId> FaultPlan::net_leaking_nodes() const {
+  std::set<NodeId> leaking;
+  for (const FaultAction& act : actions) {
+    if (act.kind == FaultKind::kRouteLeakStart) {
+      leaking.insert(act.a);
+    } else if (act.kind == FaultKind::kRouteLeakStop) {
+      leaking.erase(act.a);
+    }
+  }
+  return {leaking.begin(), leaking.end()};
+}
+
+std::vector<OriginSpec> FaultPlan::net_rogue_origins() const {
+  std::map<std::pair<Prefix, NodeId>, algebra::Attr> active;
+  for (const FaultAction& act : actions) {
+    if (act.kind == FaultKind::kHijackAnnounce) {
+      active[{act.prefix, act.origin}] = act.attr;
+    } else if (act.kind == FaultKind::kHijackWithdraw) {
+      active.erase({act.prefix, act.origin});
+    }
+  }
+  std::vector<OriginSpec> out;
+  out.reserve(active.size());
+  for (const auto& [key, attr] : active) {
+    out.push_back({key.first, key.second, attr});
+  }
+  return out;
+}
+
 std::vector<OriginSpec> FaultPlan::surviving_origins(
     const std::vector<OriginSpec>& initial) const {
   std::map<std::pair<Prefix, NodeId>, bool> active;
@@ -276,6 +323,18 @@ FaultPlan generate_plan(const topology::Topology& topo,
   plan.seed = seed;
   const auto links = topo.links();
   if (links.empty()) return plan;
+
+  // Route leaks only divert traffic from transit nodes (a stub that leaks
+  // re-exports to nobody below it); computed lazily so plans with
+  // leak_prob == 0 pay nothing and stay bit-identical to older seeds.
+  std::vector<NodeId> transit;
+  if (params.leak_prob > 0.0) {
+    for (NodeId u = 0; u < topo.node_count(); ++u) {
+      if (topo.provider_count(u) > 0 && topo.customer_count(u) > 0) {
+        transit.push_back(u);
+      }
+    }
+  }
 
   for (std::size_t e = 0; e < params.events; ++e) {
     const double t =
@@ -305,6 +364,44 @@ FaultPlan generate_plan(const topology::Topology& topo,
       if (restore) {
         plan.actions.push_back(
             {restore_at, FaultKind::kNodeRestart, u, 0, {}, 0, 0});
+      }
+      continue;
+    }
+
+    if (params.hijack_prob > 0.0 && !origins.empty() &&
+        rng.chance(params.hijack_prob)) {
+      // Origin hijack: a node other than the assigned origin announces a
+      // more-specific of the victim's prefix, masquerading with the
+      // victim's attribute so importers cannot tell by preference alone.
+      const OriginSpec& o = origins[rng.below(origins.size())];
+      NodeId adv = static_cast<NodeId>(rng.below(topo.node_count()));
+      if (adv == o.origin) {
+        adv = static_cast<NodeId>((adv + 1) % topo.node_count());
+      }
+      const Prefix target = o.prefix.length() < prefix::kAddressBits
+                                ? o.prefix.child(0)
+                                : o.prefix;
+      plan.actions.push_back(
+          {t, FaultKind::kHijackAnnounce, 0, 0, target, adv, o.attr});
+      if (restore) {
+        plan.actions.push_back(
+            {restore_at, FaultKind::kHijackWithdraw, 0, 0, target, adv, o.attr});
+      }
+      continue;
+    }
+
+    if (params.leak_prob > 0.0 && rng.chance(params.leak_prob)) {
+      // Route leak: a transit node re-exports provider/peer routes
+      // downhill-to-uphill, violating the GR export rule (schedule_plan
+      // needs Config::leak_mask for the leak to reach the wire).
+      const NodeId u =
+          transit.empty()
+              ? static_cast<NodeId>(rng.below(topo.node_count()))
+              : transit[rng.below(transit.size())];
+      plan.actions.push_back({t, FaultKind::kRouteLeakStart, u, 0, {}, 0, 0});
+      if (restore) {
+        plan.actions.push_back(
+            {restore_at, FaultKind::kRouteLeakStop, u, 0, {}, 0, 0});
       }
       continue;
     }
@@ -370,6 +467,23 @@ void schedule_plan(engine::Simulator& sim, const FaultPlan& plan) {
         break;
       case FaultKind::kNodeRestart:
         sim.inject(act.t, [&sim, n = act.a] { sim.restart_node(n); });
+        break;
+      case FaultKind::kRouteLeakStart:
+        sim.inject(act.t, [&sim, n = act.a] { sim.start_route_leak(n); });
+        break;
+      case FaultKind::kRouteLeakStop:
+        sim.inject(act.t, [&sim, n = act.a] { sim.stop_route_leak(n); });
+        break;
+      case FaultKind::kHijackAnnounce:
+        sim.inject(act.t, [&sim, p = act.prefix, o = act.origin,
+                           attr = act.attr] { sim.originate_rogue(p, o, attr); });
+        break;
+      case FaultKind::kHijackWithdraw:
+        sim.inject(act.t, [&sim, p = act.prefix, o = act.origin] {
+          sim.withdraw_rogue(p, o);
+        });
+        break;
+      case FaultKind::kCount_:
         break;
     }
   }

@@ -35,6 +35,14 @@ enum class FaultKind : std::uint8_t {
   kOriginAnnounce,
   kNodeCrash,    // Simulator::crash_node (requires session layer enabled)
   kNodeRestart,  // Simulator::restart_node
+  // Adversarial misbehaviour (the scenario engine, src/chaos/scenario.*):
+  kRouteLeakStart,  // Simulator::start_route_leak (needs Config::leak_mask)
+  kRouteLeakStop,
+  kHijackAnnounce,  // Simulator::originate_rogue — wrong-origin announcement
+  kHijackWithdraw,
+  /// Sentinel, not a fault: sizes the serialised-name table so that
+  /// adding a kind without a name is a compile error (fault_plan.cpp).
+  kCount_,
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind) noexcept;
@@ -95,6 +103,13 @@ struct FaultPlan {
   /// the original order (flapped-and-restored origins survive).
   [[nodiscard]] std::vector<OriginSpec> surviving_origins(
       const std::vector<OriginSpec>& initial) const;
+
+  /// Nodes still route-leaking after the last action, ascending.
+  [[nodiscard]] std::vector<topology::NodeId> net_leaking_nodes() const;
+
+  /// Rogue (hijack) originations still active after the last action,
+  /// ordered (prefix, origin).
+  [[nodiscard]] std::vector<OriginSpec> net_rogue_origins() const;
 };
 
 struct PlanParams {
@@ -124,6 +139,16 @@ struct PlanParams {
   /// actions are warned no-ops without it.  Zero draws no randomness, so
   /// pre-existing plans for the same seed are unchanged.
   double crash_prob = 0.0;
+  /// Probability that an event starts a route leak at a random transit
+  /// node (kRouteLeakStart; stopped again with probability restore_prob).
+  /// Requires Config::leak_mask at schedule time.  Zero draws no
+  /// randomness, like crash_prob.
+  double leak_prob = 0.0;
+  /// Probability that an event hijacks a random origination: a node other
+  /// than the assigned origin announces a more-specific of the victim's
+  /// prefix with the victim's attribute (kHijackAnnounce; withdrawn again
+  /// with probability restore_prob).  Zero draws no randomness.
+  double hijack_prob = 0.0;
 };
 
 /// Generates a plan as a pure function of (topo, origins, params, seed):

@@ -391,4 +391,36 @@ InvariantReport check_invariants(const engine::Simulator& sim,
   return std::move(ck.report);
 }
 
+BlastRadius measure_blast_radius(
+    const engine::Simulator& sim, prefix::Address dst,
+    const std::vector<topology::NodeId>& adversaries,
+    std::size_t max_sources) {
+  BlastRadius out;
+  const std::set<NodeId> bad(adversaries.begin(), adversaries.end());
+  const std::size_t n = sim.topology_used().node_count();
+  const std::size_t take = std::min(max_sources, n);
+  if (take == 0) return out;
+  const std::size_t stride = n / take;
+  for (std::size_t i = 0; i < take; ++i) {
+    const NodeId u = static_cast<NodeId>(i * stride);
+    if (bad.contains(u)) continue;
+    ++out.sources;
+    const auto tr = sim.trace(u, dst);
+    // A walk that never delivers (loop or black hole) is damage too —
+    // route leaks leave stable forwarding loops behind, which is the
+    // blast, not a measurement artefact.
+    if (tr.outcome != engine::Simulator::Outcome::kDelivered) {
+      ++out.affected;
+      continue;
+    }
+    for (const NodeId hop : tr.path) {
+      if (bad.contains(hop)) {
+        ++out.affected;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace dragon::chaos

@@ -84,4 +84,23 @@ struct InvariantReport {
 [[nodiscard]] InvariantReport check_invariants(
     const engine::Simulator& sim, const InvariantOptions& opts = {});
 
+/// Blast radius of an adversary (route leaker or prefix hijacker): among
+/// stride-sampled source nodes, how many forward traffic for `dst` along
+/// a path that touches any adversary node — transit through a leaker, or
+/// delivery at a hijacker — or that fails to deliver at all (leaks leave
+/// stable forwarding loops).  Adversary nodes themselves are not sampled
+/// as sources.  Deterministic (the same stride sampling as the forwarding
+/// checker), so DRAGON-filtered vs plain-BGP runs compare like for like.
+struct BlastRadius {
+  /// Sources whose forwarding walk for dst touches an adversary node or
+  /// never delivers.
+  std::size_t affected = 0;
+  /// Sources sampled (adversaries excluded).
+  std::size_t sources = 0;
+};
+[[nodiscard]] BlastRadius measure_blast_radius(
+    const engine::Simulator& sim, prefix::Address dst,
+    const std::vector<topology::NodeId>& adversaries,
+    std::size_t max_sources = static_cast<std::size_t>(-1));
+
 }  // namespace dragon::chaos

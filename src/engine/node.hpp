@@ -49,10 +49,31 @@ struct RouteEntry {
   bool fib_installed = false;
 };
 
+/// Route-flap damping state per (neighbour, prefix) — RFC 2439-style
+/// exponential penalty decay, configured by engine::DampingConfig.  Lives
+/// in NeighborIo so snapshot/restore and crash wipes carry it with the
+/// rest of the channel state.
+struct DampState {
+  /// Accumulated flap penalty, decayed as of `stamp`.
+  double penalty = 0.0;
+  double stamp = 0.0;
+  bool suppressed = false;
+  /// Latest imported state received while suppressed; reinstated when the
+  /// penalty decays to the reuse threshold.
+  bool held_announce = false;
+  algebra::Attr held_attr = algebra::kUnreachable;
+  /// Release-timer cancellation guard: bumped on every suppress/release
+  /// transition, captured by the scheduled release event.
+  std::uint32_t gen = 0;
+};
+
 struct NeighborIo {
   /// Adj-RIB-Out: what we last advertised, per prefix id (absent =
   /// withdrawn or never announced).
   PrefixIdMap<algebra::Attr> sent;
+  /// Route-flap damping state per prefix (empty unless
+  /// Config::damping.enabled; see Simulator::damp_absorb).
+  PrefixIdMap<DampState> damp;
   /// Prefixes with a (re)advertisement or withdrawal waiting for MRAI.
   PrefixIdSet pending;
   /// Highest message sequence number delivered from this neighbour, per

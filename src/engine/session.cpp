@@ -73,6 +73,10 @@ std::uint64_t Simulator::bump_sess_epoch(NodeId u, NodeId v) {
 }
 
 void Simulator::flush_rib_in_from(NodeId x, NodeId y) {
+  // Damping state rides the session: a suppressed candidate must not be
+  // reinstated across a teardown (the stale release timer dies on the
+  // cleared state).
+  if (config_.damping.enabled) damp_clear(x, y);
   std::vector<PrefixId> lost;
   nodes_[x].routes.for_each_sorted(
       interner_, [&](PrefixId p, RouteEntry& entry) {
@@ -373,6 +377,11 @@ void Simulator::clear_node_state(NodeId n) {
   for (const NeighborIo& nio : node.io) {
     if (!nio.stale.empty()) {
       g_stale_->add(-static_cast<double>(nio.stale.size()));
+    }
+    if (!nio.damp.empty()) {
+      nio.damp.for_each([this](PrefixId, const DampState& d) {
+        if (d.suppressed) g_damped_->add(-1.0);
+      });
     }
   }
   // In-place wipe: the routes table empties, the io vector keeps its

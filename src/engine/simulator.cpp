@@ -37,6 +37,8 @@ struct Simulator::Snapshot {
   std::map<topology::NodeId, std::set<topology::NodeId>> eor_wait;
   std::vector<OriginationRecord> originations;
   std::vector<std::pair<Prefix, Attr>> agg_watch;
+  std::set<topology::NodeId> leakers;
+  std::set<std::pair<Prefix, topology::NodeId>> rogues;
   obs::MetricsRegistry::Snapshot metrics;
   util::Rng rng;
   util::Rng msg_rng;
@@ -68,6 +70,9 @@ Simulator::Simulator(const topology::Topology& topo,
       algebra::LabelId label = topology::gr_label(nb.rel);
       if (config_.unique_link_labels) {
         label |= link_counter++ << 2;
+      }
+      if (config_.label_override) {
+        label = config_.label_override(u, nb.id, label);
       }
       labels_[u].push_back(label);
       nbr_index_[u].emplace_back(nb.id, slot++);
@@ -105,7 +110,10 @@ Simulator::Simulator(const topology::Topology& topo,
   c_stale_expired_ = metrics_.counter("dragon.session.stale_expired");
   c_eor_sent_ = metrics_.counter("dragon.session.eor_sent");
   c_eor_recv_ = metrics_.counter("dragon.session.eor_received");
+  c_damp_suppress_ = metrics_.counter("dragon.engine.damp_suppressions");
+  c_damp_release_ = metrics_.counter("dragon.engine.damp_releases");
   g_fib_ = metrics_.gauge("dragon.engine.fib_entries");
+  g_damped_ = metrics_.gauge("dragon.engine.damped_routes");
   g_filtered_ = metrics_.gauge("dragon.dragon.filtered_entries");
   g_stale_ = metrics_.gauge("dragon.session.stale_routes");
   h_update_depth_ = metrics_.histogram("dragon.engine.update_prefix_depth");
@@ -318,6 +326,69 @@ void Simulator::watch_aggregate(const Prefix& root, Attr attr) {
   }
 }
 
+void Simulator::start_route_leak(NodeId n) {
+  if (n >= topo_.node_count() || !config_.leak_mask) {
+    DRAGON_LOG_WARN("start_route_leak(%u): %s; ignored", n,
+                    config_.leak_mask ? "no such node"
+                                      : "Config::leak_mask is unset");
+    return;
+  }
+  if (!leakers_.insert(n).second) return;
+  leak_reflush(n);
+}
+
+void Simulator::stop_route_leak(NodeId n) {
+  if (leakers_.erase(n) == 0) return;
+  leak_reflush(n);
+}
+
+std::vector<topology::NodeId> Simulator::leaking_nodes() const {
+  return {leakers_.begin(), leakers_.end()};
+}
+
+void Simulator::leak_reflush(NodeId n) {
+  // Every export decision of n may flip between leaked and withdrawn;
+  // re-queue the whole table towards every live neighbour.
+  std::vector<PrefixId> all;
+  nodes_[n].routes.for_each_sorted(
+      interner_, [&all](PrefixId p, const RouteEntry&) { all.push_back(p); });
+  for (const PrefixId p : all) mark_pending(n, p);
+}
+
+void Simulator::originate_rogue(const Prefix& p, NodeId origin, Attr attr) {
+  if (origin >= topo_.node_count()) {
+    DRAGON_LOG_WARN("originate_rogue(%u): no such node; ignored", origin);
+    return;
+  }
+  if (config_.session.enabled && !node_up(origin)) {
+    DRAGON_LOG_WARN("originate_rogue(%u): node is down; ignored", origin);
+    return;
+  }
+  rogues_.insert({p, origin});
+  const PrefixId pid = interner_.intern(p);
+  RouteEntry& entry = nodes_[origin].route(pid);
+  entry.originated = true;
+  entry.origin_attr = attr;
+  entry.origin_paused = false;
+  reelect_and_react(origin, pid);
+}
+
+void Simulator::withdraw_rogue(const Prefix& p, NodeId origin) {
+  if (rogues_.erase({p, origin}) == 0) return;
+  if (config_.session.enabled && !node_up(origin)) return;
+  const PrefixId pid = interner_.intern(p);
+  RouteEntry& entry = nodes_[origin].route(pid);
+  entry.originated = false;
+  entry.origin_attr = kUnreachable;
+  entry.origin_paused = false;
+  reelect_and_react(origin, pid);
+}
+
+std::vector<std::pair<prefix::Prefix, topology::NodeId>>
+Simulator::rogue_origins() const {
+  return {rogues_.begin(), rogues_.end()};
+}
+
 void Simulator::fail_link(NodeId a, NodeId b) {
   if (a == b || a >= topo_.node_count() || b >= topo_.node_count() ||
       !topo_.linked(a, b)) {
@@ -354,6 +425,7 @@ void Simulator::fail_link(NodeId a, NodeId b) {
     NeighborIo& nio = io(u, v);
     nio.sent.clear();
     nio.pending.clear();
+    if (config_.damping.enabled) damp_clear(u, v);
     std::vector<PrefixId> lost;
     node.routes.for_each_sorted(interner_, [&](PrefixId p, RouteEntry& entry) {
       if (entry.rib_in.erase(v)) lost.push_back(p);
@@ -603,6 +675,8 @@ std::shared_ptr<const Simulator::Snapshot> Simulator::snapshot() const {
   snap->eor_wait = eor_wait_;
   snap->originations = originations_;
   snap->agg_watch = agg_watch_;
+  snap->leakers = leakers_;
+  snap->rogues = rogues_;
   snap->metrics = metrics_.snapshot_state();
   snap->rng = rng_;
   snap->msg_rng = msg_rng_;
@@ -632,6 +706,8 @@ void Simulator::restore(const Snapshot& snap) {
   eor_wait_ = snap.eor_wait;
   originations_ = snap.originations;
   agg_watch_ = snap.agg_watch;
+  leakers_ = snap.leakers;
+  rogues_ = snap.rogues;
   metrics_.restore_state(snap.metrics);
   rng_ = snap.rng;
   msg_rng_ = snap.msg_rng;
@@ -676,18 +752,118 @@ void Simulator::deliver(NodeId to, NodeId from, PrefixId p,
                      to, static_cast<std::int64_t>(from),
                      interner_.prefix_of(p),
                      wire ? static_cast<std::uint32_t>(*wire) : 0u);
+  const Attr imported =
+      wire ? alg_.extend(label(to, from), *wire) : kUnreachable;
+  if (config_.damping.enabled && damp_absorb(to, from, p, imported)) {
+    return;  // suppressed: the release event replays the held state
+  }
   RouteEntry& entry = nodes_[to].route(p);
-  if (wire) {
-    const Attr imported = alg_.extend(label(to, from), *wire);
-    if (imported == kUnreachable) {
-      entry.rib_in.erase(from);
-    } else {
-      entry.rib_in.set(from, imported);
-    }
+  if (imported == kUnreachable) {
+    entry.rib_in.erase(from);
+  } else {
+    entry.rib_in.set(from, imported);
+  }
+  reelect_and_react(to, p);
+}
+
+bool Simulator::damp_absorb(NodeId to, NodeId from, PrefixId p,
+                            Attr imported) {
+  NeighborIo& nio = io(to, from);
+  DampState& d = nio.damp.get_or_insert(p, DampState{});
+  const double now = queue_.now();
+  if (d.penalty > 0.0 && now > d.stamp) {
+    d.penalty *= std::exp2(-(now - d.stamp) / config_.damping.half_life);
+  }
+  d.stamp = now;
+  // A flap is a change to this neighbour's contribution: compared against
+  // the held state while suppressed, the live candidate otherwise.
+  bool changed;
+  const bool announce = imported != kUnreachable;
+  if (d.suppressed) {
+    changed = announce != d.held_announce ||
+              (announce && imported != d.held_attr);
+  } else {
+    const RouteEntry* e = nodes_[to].find(p);
+    const Attr* cur = e == nullptr ? nullptr : e->rib_in.find(from);
+    changed = cur == nullptr ? announce : (!announce || imported != *cur);
+  }
+  if (changed) d.penalty += config_.damping.penalty;
+  if (d.suppressed) {
+    // Already suppressed: hold the newest state; the pending release event
+    // re-reads the (possibly increased) penalty and re-arms itself.
+    d.held_announce = announce;
+    d.held_attr = imported;
+    return true;
+  }
+  if (changed && d.penalty >= config_.damping.suppress) {
+    d.suppressed = true;
+    d.held_announce = announce;
+    d.held_attr = imported;
+    const std::uint32_t gen = ++d.gen;
+    const double penalty = d.penalty;
+    c_damp_suppress_->inc();
+    g_damped_->add(1.0);
+    RouteEntry& entry = nodes_[to].route(p);
+    entry.rib_in.erase(from);
+    reelect_and_react(to, p);
+    schedule_damp_release(to, from, p, gen, penalty);
+    return true;
+  }
+  return false;
+}
+
+void Simulator::schedule_damp_release(NodeId to, NodeId from, PrefixId p,
+                                      std::uint32_t gen, double penalty) {
+  // +epsilon so the decayed penalty at fire time is at or below reuse
+  // despite floating-point rounding of the exact decay-crossing time.
+  const double wait = config_.damping.release_delay(penalty) + 1e-9;
+  queue_.schedule(queue_.now() + wait, [this, to, from, p, gen] {
+    damp_release(to, from, p, gen);
+  });
+}
+
+void Simulator::damp_release(NodeId to, NodeId from, PrefixId p,
+                             std::uint32_t gen) {
+  NeighborIo& nio = io(to, from);
+  DampState* d = nio.damp.find(p);
+  // Cleared state (session reset / crash wipe) or a newer suppress cycle:
+  // this timer is stale.
+  if (d == nullptr || !d->suppressed || d->gen != gen) return;
+  const double now = queue_.now();
+  if (d->penalty > 0.0 && now > d->stamp) {
+    d->penalty *= std::exp2(-(now - d->stamp) / config_.damping.half_life);
+    d->stamp = now;
+  }
+  if (d->penalty > config_.damping.reuse) {
+    // Flaps while suppressed raised the penalty past the original release
+    // point; re-arm for the new crossing (gen unchanged: same cycle).
+    schedule_damp_release(to, from, p, gen, d->penalty);
+    return;
+  }
+  d->suppressed = false;
+  ++d->gen;
+  const bool announce = d->held_announce;
+  const Attr held = d->held_attr;
+  c_damp_release_->inc();
+  g_damped_->add(-1.0);
+  RouteEntry& entry = nodes_[to].route(p);
+  if (announce) {
+    entry.rib_in.set(from, held);
   } else {
     entry.rib_in.erase(from);
   }
   reelect_and_react(to, p);
+}
+
+void Simulator::damp_clear(NodeId u, NodeId v) {
+  NeighborIo& nio = io(u, v);
+  if (nio.damp.empty()) return;
+  double suppressed = 0.0;
+  nio.damp.for_each([&suppressed](PrefixId, const DampState& d) {
+    if (d.suppressed) suppressed += 1.0;
+  });
+  if (suppressed > 0.0) g_damped_->add(-suppressed);
+  nio.damp.clear();
 }
 
 void Simulator::reelect_and_react(NodeId u, PrefixId p) {
@@ -792,13 +968,21 @@ void Simulator::flush_now(NodeId u, NodeId v) {
     const RouteEntry* entry = node.find(p);
     bool exporting = entry != nullptr && entry->elected != kUnreachable &&
                      !entry->filtered;
+    Attr wire_attr = exporting ? entry->elected : kUnreachable;
     if (exporting &&
         alg_.extend(label(v, u), entry->elected) == kUnreachable) {
-      exporting = false;  // export policy drops it; nothing on the wire
+      // Export policy drops it; nothing on the wire — unless u is leaking
+      // (chaos scenario engine), in which case the route goes out anyway
+      // with the masqueraded attribute the receiver's import accepts.
+      wire_attr = kUnreachable;
+      if (config_.leak_mask && leakers_.contains(u)) {
+        wire_attr = config_.leak_mask(entry->elected);
+      }
+      exporting = wire_attr != kUnreachable;
     }
     const Attr* sent_attr = nio.sent.find(p);
     const bool update_due =
-        exporting ? (sent_attr == nullptr || *sent_attr != entry->elected)
+        exporting ? (sent_attr == nullptr || *sent_attr != wire_attr)
                   : sent_attr != nullptr;
     if (!update_due) continue;
     // Chaos loss seam.  The drop happens BEFORE the Adj-RIB-Out mutation:
@@ -810,8 +994,8 @@ void Simulator::flush_now(NodeId u, NodeId v) {
       continue;
     }
     if (exporting) {
-      nio.sent.put(p, entry->elected);
-      send(u, v, p, entry->elected);
+      nio.sent.put(p, wire_attr);
+      send(u, v, p, wire_attr);
     } else {
       nio.sent.erase(p);
       send(u, v, p, std::nullopt);

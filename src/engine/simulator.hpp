@@ -23,6 +23,7 @@
 // evaluation setting where AS-path lengths do not block filtering (§3.5).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -71,6 +72,28 @@ struct MessageFaults {
   }
 };
 
+/// RFC 2439-style route-flap damping, applied per (node, neighbour,
+/// prefix) on the receive path.  Every change to a neighbour's candidate
+/// adds `penalty`; the accumulated penalty decays exponentially with
+/// `half_life`.  Crossing `suppress` removes the candidate and holds later
+/// updates from that neighbour; the held state is reinstated once the
+/// penalty decays to `reuse`.  Suppression always releases in finite sim
+/// time (the release event re-arms itself), so a quiescent state is
+/// damping-free and the differential oracle stays valid.
+struct DampingConfig {
+  bool enabled = false;
+  double penalty = 1.0;    ///< added per candidate change
+  double suppress = 3.0;   ///< suppress when penalty >= this
+  double reuse = 1.0;      ///< release when decayed penalty <= this
+  double half_life = 10.0; ///< exponential decay half-life, seconds
+
+  [[nodiscard]] double release_delay(double p) const {
+    // Time for `p` to decay to the reuse threshold.
+    if (p <= reuse || reuse <= 0.0 || half_life <= 0.0) return 0.0;
+    return half_life * std::log2(p / reuse);
+  }
+};
+
 struct Config {
   /// MRAI per peering session: uniform in [mrai*(1-jitter), mrai].
   double mrai = 30.0;
@@ -92,6 +115,24 @@ struct Config {
   /// BGP's AS-PATH content changes (path exploration).  Plain GR-family
   /// algebras only read the low two bits, so this is compatible with them.
   bool unique_link_labels = false;
+  /// Per-edge import-label override (adversarial dispute gadgets, see
+  /// algebra/gadgets.hpp): called once per directed adjacency at
+  /// construction with the GR-derived label (after any unique_link_labels
+  /// encoding); the returned label is used instead.  Unset: identity.
+  std::function<algebra::LabelId(topology::NodeId learner,
+                                 topology::NodeId speaker,
+                                 algebra::LabelId gr)>
+      label_override;
+  /// Route-leak masquerade (chaos scenario engine): when a node marked
+  /// with start_route_leak() hits an export the algebra's policy would
+  /// drop, the elected attribute is rewritten through this hook and sent
+  /// anyway — the wire carries attributes, so the receiver cannot tell
+  /// the class was forged.  Returning kUnreachable still drops the
+  /// export.  Unset: start_route_leak is a warned no-op.
+  std::function<algebra::Attr(algebra::Attr)> leak_mask;
+  /// Route-flap damping on the receive path (disabled by default; no
+  /// behaviour or RNG change while disabled).
+  DampingConfig damping;
   /// L-attribute projection used by CR/RA (smaller = preferred).  Defaults
   /// to the identity (whole-attribute comparison).
   std::function<std::uint32_t(algebra::Attr)> l_attr;
@@ -138,6 +179,30 @@ class Simulator {
   /// `attr` for a tiling of `root` may originate it (Figs. 5-6).  No-op
   /// unless DRAGON and re-aggregation are enabled.
   void watch_aggregate(const Prefix& root, Attr attr);
+
+  // --- Adversarial misbehaviour (chaos scenario engine, src/chaos/) --------
+
+  /// Marks n as a route leaker: exports the algebra's export policy would
+  /// drop are sent anyway with Config::leak_mask applied.  Triggers a full
+  /// export re-evaluation towards every neighbour.  Warned no-op without
+  /// the leak_mask hook or for an invalid node; idempotent.
+  void start_route_leak(NodeId n);
+  void stop_route_leak(NodeId n);
+  [[nodiscard]] bool leaking(NodeId n) const { return leakers_.contains(n); }
+  /// Currently leaking nodes, ascending.
+  [[nodiscard]] std::vector<NodeId> leaking_nodes() const;
+
+  /// Originates p at `origin` *without* registering an origination record:
+  /// an origin hijack — no delegation cross-links, no rule-RA audits, no
+  /// aggregation watch.  The forwarding walk (trace()) terminates at the
+  /// hijacker like at any originator, which is exactly the blast-radius
+  /// semantics the scenario engine measures.  Must not target a prefix
+  /// the node legitimately originates (the rogue withdrawal would stomp
+  /// the assignment).
+  void originate_rogue(const Prefix& p, NodeId origin, Attr attr);
+  void withdraw_rogue(const Prefix& p, NodeId origin);
+  /// Active rogue originations, ordered (prefix, origin).
+  [[nodiscard]] std::vector<std::pair<Prefix, NodeId>> rogue_origins() const;
 
   /// Fails / restores the link between a and b (sessions reset).  Both are
   /// validated and idempotent: failing a link that does not exist in the
@@ -362,6 +427,22 @@ class Simulator {
   void send(NodeId from, NodeId to, prefix::PrefixId p,
             std::optional<Attr> wire);
 
+  // Route-flap damping (Config::damping; engine/simulator.cpp).
+  /// Applies damping to an incoming already-imported candidate.  Returns
+  /// true when the update was absorbed (the candidate is suppressed and
+  /// the latest state held for release) and must not touch rib_in.
+  bool damp_absorb(NodeId to, NodeId from, prefix::PrefixId p, Attr imported);
+  void damp_release(NodeId to, NodeId from, prefix::PrefixId p,
+                    std::uint32_t gen);
+  void schedule_damp_release(NodeId to, NodeId from, prefix::PrefixId p,
+                             std::uint32_t gen, double penalty);
+  /// Drops all damping state u holds for neighbour v (session reset /
+  /// link failure), with gauge-consistent accounting.
+  void damp_clear(NodeId u, NodeId v);
+  /// Re-evaluates every export of n (leak start/stop flips which routes
+  /// cross the export policy).
+  void leak_reflush(NodeId n);
+
   // Session lifecycle (engine/session.cpp).
   /// Can protocol messages flow on (a, b)?  Link alive, both endpoints up,
   /// and (sessions enabled) both directions established.  Reduces to
@@ -467,6 +548,10 @@ class Simulator {
   std::vector<OriginationRecord> originations_;
   /// Roots watched for §3.7/§3.8 self-organised origination.
   std::vector<std::pair<Prefix, Attr>> agg_watch_;
+  /// Nodes currently leaking (ordered: leaking_nodes() is deterministic).
+  std::set<NodeId> leakers_;
+  /// Active rogue (hijack) originations.
+  std::set<std::pair<Prefix, NodeId>> rogues_;
 
   // --- Observability state --------------------------------------------------
   obs::MetricsRegistry metrics_;
@@ -502,7 +587,10 @@ class Simulator {
   obs::Counter* c_stale_expired_;
   obs::Counter* c_eor_sent_;
   obs::Counter* c_eor_recv_;
+  obs::Counter* c_damp_suppress_;
+  obs::Counter* c_damp_release_;
   obs::Gauge* g_fib_;
+  obs::Gauge* g_damped_;
   obs::Gauge* g_filtered_;
   obs::Gauge* g_stale_;
   obs::Histogram* h_update_depth_;

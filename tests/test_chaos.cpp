@@ -109,6 +109,15 @@ TEST(FaultPlan, JsonRoundTripsEveryActionKind) {
       {5.0, FaultKind::kOriginWithdraw, 0, 0, bp("10"), 7, 3});
   plan.actions.push_back(
       {6.5, FaultKind::kOriginAnnounce, 0, 0, bp("10000"), 8, 2});
+  plan.actions.push_back({7.0, FaultKind::kRouteLeakStart, 2, 0, {}, 0, 0});
+  plan.actions.push_back({8.0, FaultKind::kRouteLeakStop, 2, 0, {}, 0, 0});
+  plan.actions.push_back(
+      {9.0, FaultKind::kHijackAnnounce, 0, 0, bp("100"), 6, 1});
+  plan.actions.push_back(
+      {10.0, FaultKind::kHijackWithdraw, 0, 0, bp("100"), 6, 1});
+  // Every enumerator is covered: the sentinel pins the count, and the
+  // static_assert on the name table in fault_plan.cpp pins to_string.
+  ASSERT_EQ(plan.actions.size(), static_cast<std::size_t>(FaultKind::kCount_));
 
   const std::string json = plan.to_json();
   const auto parsed = FaultPlan::from_json(json);
@@ -118,11 +127,81 @@ TEST(FaultPlan, JsonRoundTripsEveryActionKind) {
   EXPECT_EQ(parsed->to_json(), json);
   EXPECT_EQ(parsed->seed, plan.seed);
   ASSERT_EQ(parsed->actions.size(), plan.actions.size());
+  for (std::size_t i = 0; i < plan.actions.size(); ++i) {
+    EXPECT_EQ(parsed->actions[i].kind, plan.actions[i].kind) << i;
+  }
   EXPECT_EQ(parsed->actions[2].kind, FaultKind::kNodeCrash);
   EXPECT_EQ(parsed->actions[2].a, 5u);
   EXPECT_EQ(parsed->actions[4].prefix, bp("10"));
   EXPECT_EQ(parsed->actions[4].origin, 7u);
   EXPECT_EQ(parsed->actions[4].attr, 3u);
+  EXPECT_EQ(parsed->actions[6].a, 2u);
+  EXPECT_EQ(parsed->actions[8].prefix, bp("100"));
+  EXPECT_EQ(parsed->actions[8].origin, 6u);
+}
+
+TEST(FaultPlan, FuzzedAdversarialPlansRoundTripAndReplayNetState) {
+  const auto topo = F1::topology();
+  const std::vector<OriginSpec> origins{{bp("10"), F1::origin_p, kCust},
+                                        {bp("10000"), F1::origin_q, kCust}};
+  PlanParams params;
+  params.events = 10;
+  params.origin_flap_prob = 0.2;
+  params.node_fault_prob = 0.1;
+  params.crash_prob = 0.2;
+  params.leak_prob = 0.3;
+  params.hijack_prob = 0.3;
+  params.restore_prob = 0.5;
+  bool saw_leak = false, saw_hijack = false;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const FaultPlan plan = generate_plan(topo, origins, params, seed);
+    const auto parsed = FaultPlan::from_json(plan.to_json());
+    ASSERT_TRUE(parsed.has_value()) << plan.to_json();
+    EXPECT_EQ(parsed->to_json(), plan.to_json());
+    // Net-state replays agree action for action: the leaker set and the
+    // rogue origination table are derived, not stored.
+    EXPECT_EQ(parsed->net_leaking_nodes(), plan.net_leaking_nodes());
+    const auto rogues = plan.net_rogue_origins();
+    const auto rogues2 = parsed->net_rogue_origins();
+    ASSERT_EQ(rogues2.size(), rogues.size());
+    for (std::size_t i = 0; i < rogues.size(); ++i) {
+      EXPECT_EQ(rogues2[i].prefix, rogues[i].prefix);
+      EXPECT_EQ(rogues2[i].origin, rogues[i].origin);
+      EXPECT_EQ(rogues2[i].attr, rogues[i].attr);
+    }
+    for (const auto& act : plan.actions) {
+      saw_leak |= act.kind == FaultKind::kRouteLeakStart;
+      saw_hijack |= act.kind == FaultKind::kHijackAnnounce;
+      if (act.kind == FaultKind::kHijackAnnounce) {
+        // A hijack must target a covered more-specific of a real origin
+        // from a node that is not its legitimate origin.
+        bool covers = false;
+        for (const auto& o : origins) {
+          covers |= o.prefix.covers(act.prefix) && o.origin != act.origin;
+        }
+        EXPECT_TRUE(covers) << plan.to_json();
+      }
+    }
+  }
+  EXPECT_TRUE(saw_leak) << "leak_prob=0.3 never drew a leak in 30 plans";
+  EXPECT_TRUE(saw_hijack) << "hijack_prob=0.3 never drew a hijack in 30 plans";
+}
+
+TEST(FaultPlan, ZeroAdversarialProbsLeavePlansBitIdentical) {
+  // Like crash_prob: disabled leak/hijack branches must not consume
+  // randomness, or every pre-existing seeded schedule would change.
+  const auto topo = F1::topology();
+  const std::vector<OriginSpec> origins{{bp("10"), F1::origin_p, kCust}};
+  PlanParams with, without;
+  with.events = without.events = 10;
+  with.origin_flap_prob = without.origin_flap_prob = 0.3;
+  with.node_fault_prob = without.node_fault_prob = 0.2;
+  with.leak_prob = 0.0;
+  with.hijack_prob = 0.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    EXPECT_EQ(generate_plan(topo, origins, with, seed).to_json(),
+              generate_plan(topo, origins, without, seed).to_json());
+  }
 }
 
 TEST(FaultPlan, GeneratedCrashPlansRoundTripAndReplayNetState) {
@@ -360,6 +439,32 @@ TEST(Watchdog, EventBudgetTripsOnWedgedRun) {
   EXPECT_EQ(r.events, 500u);
   EXPECT_NE(r.diagnostics.find("watchdog"), std::string::npos);
   EXPECT_NE(r.diagnostics.find("queue_depth"), std::string::npos);
+}
+
+TEST(Watchdog, ClassifyModeAnnotatesBudgetTripWithTraceTail) {
+  // An event-budget trip in classify mode must say *what kind* of stall
+  // it saw and end with the tracer's last records — the diagnostics are
+  // the only artefact a failed CI run leaves behind.
+  const auto topo = F2::topology();
+  GrPathAlgebra alg;
+  Config config = bgp_config();
+  config.faults.loss = 1.0;  // every update dropped, retransmitted forever
+  Simulator sim(topo, alg, config);
+  obs::EventTracer tracer(256);
+  sim.set_tracer(&tracer);
+  sim.originate(bp("10"), F2::origin_p, kCust);
+  WatchdogLimits limits{50.0, 5'000};
+  limits.classify = true;
+  limits.sample_every_events = 7;
+  const auto r = run_to_quiescence(sim, limits, &tracer);
+  EXPECT_FALSE(r.quiescent);
+  EXPECT_GT(r.samples, 0u);
+  EXPECT_NE(r.classification, Quiescence::kConverged);
+  EXPECT_NE(r.diagnostics.find("classification="), std::string::npos)
+      << r.diagnostics;
+  EXPECT_NE(r.diagnostics.find("trace tail"), std::string::npos)
+      << r.diagnostics;
+  sim.set_tracer(nullptr);
 }
 
 TEST(Watchdog, HorizonBudgetTripsOnWedgedRun) {

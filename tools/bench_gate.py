@@ -33,19 +33,52 @@ import json
 import sys
 
 
-def load_gauges(path, metric_prefix):
-    """Flattens every section's gauges into {"section.name": value}."""
+def load_section(path, metric_prefix, kind):
+    """Flattens every section's `kind` metrics into {"section.name": value}."""
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    gauges = {}
+    flat = {}
     for section, body in doc.items():
         if section == "meta" or not isinstance(body, dict):
             continue
-        for name, value in body.get("gauges", {}).items():
+        for name, value in body.get(kind, {}).items():
             if metric_prefix and not name.startswith(metric_prefix):
                 continue
-            gauges["%s.%s" % (section, name)] = float(value)
-    return doc.get("meta", {}), gauges
+            flat["%s.%s" % (section, name)] = float(value)
+    return doc.get("meta", {}), flat
+
+
+def load_gauges(path, metric_prefix):
+    return load_section(path, metric_prefix, "gauges")
+
+
+def check_coverage(baseline, candidate, prefix):
+    """Coverage counters (e.g. scenario runs/passes) must never shrink.
+
+    Every baseline counter whose name (within its section) starts with
+    `prefix` must exist in the candidate with a value >= the baseline's —
+    a refreshed artifact may gain scenario keys freely (candidate-only
+    counters are just noted), but dropping a family or running fewer
+    seeds of one fails the gate.  Returns a list of failure strings.
+    """
+    _, base = load_section(baseline, prefix, "counters")
+    _, cand = load_section(candidate, prefix, "counters")
+    failures = []
+    for name in sorted(set(cand) - set(base)):
+        print("bench_gate: note: coverage counter %s only in candidate "
+              "(not gated)" % name)
+    for name in sorted(base):
+        if name not in cand:
+            failures.append("%s missing from candidate (baseline=%d)"
+                            % (name, base[name]))
+            continue
+        status = "FAIL" if cand[name] < base[name] else "ok"
+        print("bench_gate: %-4s coverage %-55s base=%8d cand=%8d"
+              % (status, name, base[name], cand[name]))
+        if cand[name] < base[name]:
+            failures.append("%s shrank (%d -> %d)"
+                            % (name, base[name], cand[name]))
+    return failures
 
 
 def main():
@@ -63,6 +96,11 @@ def main():
     ap.add_argument("--min-baseline", type=float, default=1.0,
                     help="skip gauges whose baseline value is below this "
                          "(sub-ns noise; default: %(default)s)")
+    ap.add_argument("--coverage-prefix", default="",
+                    help="additionally require every baseline *counter* "
+                         "with this name prefix to be present in the "
+                         "candidate with a value >= the baseline's "
+                         "(scenario coverage must never shrink)")
     args = ap.parse_args()
 
     base_meta, base = load_gauges(args.baseline, args.metric_prefix)
@@ -92,14 +130,23 @@ def main():
         if ratio > args.max_ratio:
             failures.append((name, ratio))
 
-    if failures:
-        print("bench_gate: FAILED: %d gauge(s) regressed beyond %.1fx:"
-              % (len(failures), args.max_ratio))
-        for name, ratio in failures:
-            print("bench_gate:   %s (%.2fx)" % (name, ratio))
+    coverage_failures = []
+    if args.coverage_prefix:
+        coverage_failures = check_coverage(args.baseline, args.candidate,
+                                           args.coverage_prefix)
+
+    if failures or coverage_failures:
+        if failures:
+            print("bench_gate: FAILED: %d gauge(s) regressed beyond %.1fx:"
+                  % (len(failures), args.max_ratio))
+            for name, ratio in failures:
+                print("bench_gate:   %s (%.2fx)" % (name, ratio))
+        for detail in coverage_failures:
+            print("bench_gate: FAILED coverage: %s" % detail)
         return 1
-    print("bench_gate: passed (%d gauges, max-ratio %.1f)"
-          % (len(shared), args.max_ratio))
+    print("bench_gate: passed (%d gauges, max-ratio %.1f%s)"
+          % (len(shared), args.max_ratio,
+             ", coverage ok" if args.coverage_prefix else ""))
     return 0
 
 
