@@ -59,7 +59,11 @@ inline std::unique_ptr<exec::ThreadPool> make_thread_pool(
     const util::Flags& flags) {
   const auto threads = static_cast<std::size_t>(flags.i64("threads"));
   if (threads <= 1) return nullptr;
-  return std::make_unique<exec::ThreadPool>(threads);
+  // Benches cap workers at hardware_concurrency: results never depend on
+  // the worker count, so oversubscribing only adds context-switch cost
+  // and poisons the timing artifacts the gates compare.
+  return std::make_unique<exec::ThreadPool>(
+      threads, exec::PoolOptions{.cap_to_hardware = true});
 }
 
 /// Runs `total` independent trials and commits each result in trial order
@@ -139,26 +143,31 @@ inline void maybe_export_span_trace(
 }
 
 /// The reproducibility header benches prepend to their JSON artifacts:
-/// harness name, master seed, and worker-thread count, so every dump
-/// replays from the file alone (threads never changes the numbers — the
-/// runtime is deterministic — but it explains the wall-clock).  A
+/// harness name, master seed, worker-thread count, and the machine's
+/// hardware concurrency, so every dump replays from the file alone
+/// (threads never changes the numbers — the runtime is deterministic —
+/// but threads vs hw_concurrency explains the wall-clock, and the
+/// core-aware scaling gate keys its rules off hw_concurrency).  A
 /// non-empty `scenario` (the adversarial-scenario spec string) is stamped
 /// in as well, so scenario artifacts identify the family that produced
 /// them.
 inline std::string run_meta_json(const char* bench_name, std::uint64_t seed,
                                  std::size_t threads = 1,
                                  const std::string& scenario = {}) {
-  char buf[320];
+  const std::size_t hw = exec::ThreadPool::default_thread_count();
+  char buf[384];
   if (scenario.empty()) {
     std::snprintf(buf, sizeof buf,
-                  "{\"bench\":\"%s\",\"seed\":%llu,\"threads\":%zu}",
-                  bench_name, static_cast<unsigned long long>(seed), threads);
+                  "{\"bench\":\"%s\",\"seed\":%llu,\"threads\":%zu,"
+                  "\"hw_concurrency\":%zu}",
+                  bench_name, static_cast<unsigned long long>(seed), threads,
+                  hw);
   } else {
-    std::snprintf(
-        buf, sizeof buf,
-        "{\"bench\":\"%s\",\"seed\":%llu,\"threads\":%zu,\"scenario\":\"%s\"}",
-        bench_name, static_cast<unsigned long long>(seed), threads,
-        scenario.c_str());
+    std::snprintf(buf, sizeof buf,
+                  "{\"bench\":\"%s\",\"seed\":%llu,\"threads\":%zu,"
+                  "\"hw_concurrency\":%zu,\"scenario\":\"%s\"}",
+                  bench_name, static_cast<unsigned long long>(seed), threads,
+                  hw, scenario.c_str());
   }
   return buf;
 }

@@ -78,6 +78,9 @@ struct Digest {
 /// split into merge / ordered-commit / idle.
 struct StageSeconds {
   double compute = 0.0;
+  /// Thread CPU time inside chunk bodies; compute - compute_cpu is time
+  /// workers sat descheduled mid-chunk (the oversubscription signature).
+  double compute_cpu = 0.0;
   double merge = 0.0;
   double commit = 0.0;
   double idle = 0.0;
@@ -97,6 +100,7 @@ StageSeconds stage_totals() {
       s.commit += sec;
     } else if (cat == "exec" && name == "chunk") {
       s.compute += sec;
+      s.compute_cpu += static_cast<double>(t.cpu_ns) / 1e9;
     }
   }
   return s;
@@ -212,7 +216,12 @@ int main(int argc, char** argv) {
     const std::size_t threads = thread_counts[ti];
     const StageSeconds before = stage_totals();
     std::unique_ptr<exec::ThreadPool> pool;
-    if (threads > 1) pool = std::make_unique<exec::ThreadPool>(threads);
+    if (threads > 1) {
+      // Capped to hardware_concurrency: oversubscribed sweeps would only
+      // measure context-switch cost (see exec/thread_pool.hpp).
+      pool = std::make_unique<exec::ThreadPool>(
+          threads, exec::PoolOptions{.cap_to_hardware = true});
+    }
 
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<chaos::ScheduleOutcome> outcomes;
@@ -237,6 +246,7 @@ int main(int argc, char** argv) {
     const StageSeconds after = stage_totals();
     breakdowns.emplace_back(
         threads, StageSeconds{after.compute - before.compute,
+                              after.compute_cpu - before.compute_cpu,
                               after.merge - before.merge,
                               after.commit - before.commit,
                               after.idle - before.idle});
@@ -277,6 +287,9 @@ int main(int argc, char** argv) {
     std::snprintf(name, sizeof name, "scaling.span.compute_s.threads.%zu",
                   threads);
     reg.gauge(name)->set(stages.compute);
+    std::snprintf(name, sizeof name, "scaling.span.compute_cpu_s.threads.%zu",
+                  threads);
+    reg.gauge(name)->set(stages.compute_cpu);
     std::snprintf(name, sizeof name, "scaling.span.merge_s.threads.%zu",
                   threads);
     reg.gauge(name)->set(stages.merge);
@@ -294,6 +307,49 @@ int main(int argc, char** argv) {
                    std::to_string(ok) + "/" + std::to_string(outcomes.size()),
                    identical ? "yes" : "NO"});
   }
+
+  if (!tracing) {
+    // Pool-overhead audit: the same sweep dispatched through a 1-worker
+    // pool.  The sequential entry above runs inline on the calling
+    // thread, so pool1 / seq is the runtime's pure dispatch cost (lane
+    // submission + ticket claims + shard merge), gated by
+    // tools/bench_gate.py --scaling-check.
+    auto pool = std::make_unique<exec::ThreadPool>(1);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<chaos::ScheduleOutcome> outcomes;
+    {
+      DRAGON_SPAN_ARG("bench", "sweep", "threads", 1);
+      outcomes = chaos::run_schedule_sweep(spec, seeds, pool.get());
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    pool.reset();
+
+    std::size_t ok = 0;
+    std::vector<Digest> digests;
+    digests.reserve(outcomes.size());
+    for (const auto& out : outcomes) {
+      if (out.ok()) ++ok;
+      digests.push_back(digest_of(out));
+    }
+    const bool identical = digests == baseline;
+    if (!identical) {
+      all_identical = false;
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: 1-worker pool sweep diverges "
+                   "from the sequential baseline\n");
+    }
+    reg.gauge("scaling.seconds.pool1")->set(seconds);
+    const double speedup = seconds > 0.0 ? baseline_seconds / seconds : 0.0;
+    char seconds_s[32], speedup_s[32];
+    std::snprintf(seconds_s, sizeof seconds_s, "%.3f", seconds);
+    std::snprintf(speedup_s, sizeof speedup_s, "%.2fx", speedup);
+    table.add_row({"pool1", seconds_s, speedup_s,
+                   std::to_string(ok) + "/" + std::to_string(outcomes.size()),
+                   identical ? "yes" : "NO"});
+  }
+
   table.print();
   reg.counter("scaling.schedules")->inc(seeds.size());
   tracer.flush();
@@ -313,12 +369,13 @@ int main(int argc, char** argv) {
   meta += ",\"span_breakdown\":{";
   for (std::size_t i = 0; i < breakdowns.size(); ++i) {
     const auto& [threads, stages] = breakdowns[i];
-    char entry[192];
+    char entry[256];
     std::snprintf(entry, sizeof entry,
-                  "%s\"%zu\":{\"compute_s\":%.6f,\"merge_s\":%.6f,"
-                  "\"commit_s\":%.6f,\"idle_s\":%.6f}",
-                  i == 0 ? "" : ",", threads, stages.compute, stages.merge,
-                  stages.commit, stages.idle);
+                  "%s\"%zu\":{\"compute_s\":%.6f,\"compute_cpu_s\":%.6f,"
+                  "\"merge_s\":%.6f,\"commit_s\":%.6f,\"idle_s\":%.6f}",
+                  i == 0 ? "" : ",", threads, stages.compute,
+                  stages.compute_cpu, stages.merge, stages.commit,
+                  stages.idle);
     meta += entry;
   }
   meta += "}}";

@@ -1,8 +1,9 @@
 #include "exec/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
-#include <memory>
+#include <mutex>
 
 #include "obs/span.hpp"
 
@@ -29,66 +30,112 @@ void parallel_for(ThreadPool* pool, std::size_t n,
                   const std::function<void(std::size_t, TaskContext&)>& body,
                   const ParallelOptions& opts) {
   if (n == 0) return;
+  const std::size_t workers = pool == nullptr ? 1 : pool->size();
   const std::size_t chunk_count =
-      opts.chunks == 0 ? std::min(n, kDefaultChunks) : opts.chunks;
+      opts.chunks != 0  ? opts.chunks
+      : workers <= 1    ? 1
+                        : std::min(n, workers * kChunksPerWorker);
   const auto ranges = static_chunks(n, chunk_count);
   const util::Rng base(opts.seed);
+  const bool want_metrics = opts.metrics_sink != nullptr;
 
-  // Per-chunk shards, created only when a sink wants them.  Slot `c` is
-  // written exclusively by chunk c's task — no sharing, no locks.
-  std::vector<std::unique_ptr<obs::MetricsRegistry>> shards(
-      opts.metrics_sink != nullptr ? ranges.size() : 0);
-
-  const auto run_chunk = [&](std::size_t c) {
+  // Runs one chunk on the (reused) lane shard.  The shard's write epoch is
+  // chunk+1 so gauge writes record chunk identity — the lane must hand the
+  // same shard strictly increasing chunk indices (the ticket guarantees
+  // it), otherwise a later-claimed lower chunk would clobber the
+  // accumulation of a higher one.
+  const auto run_chunk = [&](std::size_t c, obs::MetricsRegistry* shard) {
     DRAGON_SPAN_ARG3("exec", "chunk", "chunk", c, "begin", ranges[c].first,
                      "items", ranges[c].second - ranges[c].first);
     TaskContext ctx;
     ctx.chunk = c;
-    {
-      DRAGON_SPAN("exec", "fork_setup");
-      ctx.rng = base.fork_stream(c);
-      if (opts.metrics_sink != nullptr) {
-        shards[c] = std::make_unique<obs::MetricsRegistry>();
-        shards[c]->bind_writer();
-        ctx.metrics = shards[c].get();
-      }
+    ctx.rng = base.fork_stream(c);
+    if (shard != nullptr) {
+      shard->set_write_epoch(c + 1);
+      ctx.metrics = shard;
     }
     for (std::size_t i = ranges[c].first; i < ranges[c].second; ++i) {
       body(i, ctx);
     }
   };
 
-  if (pool == nullptr || pool->size() <= 1 || ranges.size() <= 1) {
-    for (std::size_t c = 0; c < ranges.size(); ++c) run_chunk(c);
-  } else {
-    std::vector<std::future<void>> futures;
-    futures.reserve(ranges.size());
+  // Error policy (both paths): run every chunk even after a failure, then
+  // rethrow the lowest-indexed failing chunk's exception.  A failure at
+  // chunk c says nothing about chunks < c on another lane, so stable
+  // error reporting requires finishing the sweep.
+  std::exception_ptr first_error;
+  std::size_t first_error_chunk = ranges.size();
+
+  if (pool == nullptr) {
+    obs::MetricsRegistry local;
+    obs::MetricsRegistry* shard = want_metrics ? &local : nullptr;
+    if (shard != nullptr) shard->bind_writer();
     for (std::size_t c = 0; c < ranges.size(); ++c) {
-      futures.push_back(pool->submit([&run_chunk, c] { run_chunk(c); }));
-    }
-    // Collect every chunk before rethrowing, so no task is left touching
-    // stack-allocated state; the lowest-indexed failure wins (stable
-    // error reporting across thread counts).  The commit_wait span is the
-    // calling thread blocked on the ordered join — the serial tail every
-    // chunk imbalance shows up in.
-    DRAGON_SPAN_ARG("exec", "commit_wait", "chunks", ranges.size());
-    std::exception_ptr first_error;
-    for (auto& future : futures) {
       try {
-        future.get();
+        run_chunk(c, shard);
       } catch (...) {
-        if (!first_error) first_error = std::current_exception();
+        if (c < first_error_chunk) {
+          first_error_chunk = c;
+          first_error = std::current_exception();
+        }
       }
     }
     if (first_error) std::rethrow_exception(first_error);
+    if (want_metrics) {
+      DRAGON_SPAN_ARG("exec", "shard_merge", "shards", std::size_t{1});
+      local.release_writer();
+      opts.metrics_sink->merge_from(local);
+    }
+    return;
   }
 
-  if (opts.metrics_sink != nullptr) {
-    DRAGON_SPAN_ARG("exec", "shard_merge", "shards", shards.size());
-    for (auto& shard : shards) {
-      shard->release_writer();
-      opts.metrics_sink->merge_from(*shard);
+  // One task per worker lane; lanes claim chunks off an atomic ticket.
+  // Each lane reuses one shard for all its chunks — no per-chunk registry
+  // allocation, no per-chunk queue round trip.
+  const std::size_t lanes = std::min(workers, ranges.size());
+  std::vector<obs::MetricsRegistry> lane_shards(want_metrics ? lanes : 0);
+  std::atomic<std::size_t> ticket{0};
+  std::mutex error_mu;  // cold path: taken only when a chunk throws
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    obs::MetricsRegistry* shard = want_metrics ? &lane_shards[lane] : nullptr;
+    futures.push_back(pool->submit([&, shard] {
+      if (shard != nullptr) shard->bind_writer();
+      for (;;) {
+        const std::size_t c = ticket.fetch_add(1, std::memory_order_relaxed);
+        if (c >= ranges.size()) break;
+        try {
+          run_chunk(c, shard);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (c < first_error_chunk) {
+            first_error_chunk = c;
+            first_error = std::current_exception();
+          }
+        }
+      }
+      if (shard != nullptr) shard->release_writer();
+    }));
+  }
+
+  {
+    // The commit_wait span is the calling thread blocked on the lane
+    // join — the serial tail any load imbalance shows up in.  Lane tasks
+    // trap body exceptions above, so get() only surfaces runtime faults.
+    DRAGON_SPAN_ARG("exec", "commit_wait", "chunks", ranges.size());
+    for (auto& future : futures) future.get();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  if (want_metrics) {
+    DRAGON_SPAN_ARG("exec", "shard_merge", "shards", lanes);
+    obs::MetricsRegistry& combined = lane_shards[0];
+    for (std::size_t lane = 1; lane < lanes; ++lane) {
+      combined.merge_ordered_from(lane_shards[lane]);
     }
+    opts.metrics_sink->merge_from(combined);
   }
 }
 

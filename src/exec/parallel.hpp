@@ -1,26 +1,46 @@
 // Deterministic data-parallel primitives over a ThreadPool.
 //
-// The contract that everything in this header upholds: **results are
-// bit-identical for any thread count, including 1** (and for pool ==
-// nullptr, which runs inline).  Three rules make that hold:
+// The contract that everything in this header upholds: **for a fixed
+// chunk count, results are bit-identical for any thread count, including
+// 1** (and for pool == nullptr, which runs inline).  Three rules make
+// that hold:
 //
 //   1. Static chunking.  [0, n) is split into a chunk list that is a pure
-//      function of (n, opts.chunks) — never of the thread count or of
-//      runtime timing.  Chunks are the unit of scheduling; which worker
-//      runs a chunk is irrelevant because chunks never share mutable
-//      state.
+//      function of (n, chunks) — never of runtime timing.  Chunks are the
+//      unit of scheduling; which worker runs a chunk is irrelevant
+//      because chunks never share mutable state.
 //   2. Per-chunk RNG forking.  Each chunk's TaskContext carries an Rng
 //      forked as Rng(opts.seed).fork_stream(chunk) — a pure function of
 //      (seed, chunk index), not of dispatch order — so stochastic bodies
 //      draw identical streams no matter how chunks interleave.
-//   3. Per-chunk metrics shards.  Each chunk writes its own private
-//      MetricsRegistry (single writer, no locks on the hot path); shards
-//      are merged into opts.metrics_sink *in chunk order* on the calling
-//      thread at join, so counter sums and gauge last-writer-wins values
-//      are reproducible.
+//   3. Epoch-stamped per-worker metrics shards.  Each worker lane reuses
+//      ONE private MetricsRegistry for every chunk it claims (no
+//      per-chunk allocation); before a chunk runs, the shard's write
+//      epoch is set to chunk+1 so gauge writes record *which chunk* made
+//      them.  Shards combine via merge_ordered_from (highest-epoch gauge
+//      write wins; counters and histograms sum), which reproduces the
+//      sequential chunk-ordered merge no matter how chunks landed on
+//      lanes.  The combined shard is merged into opts.metrics_sink on the
+//      calling thread at join.
 //
-// Exception propagation: if any chunk body throws, parallel_for rethrows
-// the lowest-indexed chunk's exception after all chunks finished, and the
+// Scheduling is an atomic chunk ticket: parallel_for submits one task per
+// worker lane (not per chunk), and each lane claims chunks with
+// fetch_add until the ticket runs dry.  Load balancing is automatic — a
+// lane stuck on a heavy chunk simply claims fewer — and each lane sees
+// strictly increasing chunk indices, which rule 3's epoch stamping relies
+// on.  Compared to one queued task per chunk this removes the per-chunk
+// packaged_task/future/queue-mutex round trip from the hot path.
+//
+// Default granularity: when opts.chunks == 0 the chunk count adapts to
+// the pool — 1 chunk inline or on a 1-worker pool, else
+// min(n, workers * kChunksPerWorker).  The adaptive default therefore
+// DEPENDS on the pool size: bodies that consume ctx.rng or write
+// per-chunk-identity metrics and need cross-thread-count bit-identity
+// must pin opts.chunks explicitly (every stochastic caller in-tree does).
+//
+// Exception propagation: if any chunk body throws, every chunk still
+// runs, then parallel_for rethrows the lowest-indexed failing chunk's
+// exception (stable error reporting across thread counts) and the
 // metrics sink is left untouched (partial merges would be ambiguous).
 // See DESIGN.md §8 ("Parallel execution runtime").
 #pragma once
@@ -43,23 +63,34 @@ struct TaskContext {
   std::size_t chunk = 0;
   /// The chunk's private RNG stream: Rng(seed).fork_stream(chunk).
   util::Rng rng{0};
-  /// The chunk's private metrics shard; nullptr when no sink was given.
+  /// The worker lane's metrics shard, epoch-stamped to this chunk;
+  /// nullptr when no sink was given.
   obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ParallelOptions {
-  /// Fixed chunk count; 0 picks min(n, kDefaultChunks).  Must be chosen
-  /// independently of the thread count or determinism is lost.
+  /// Fixed chunk count; 0 picks the adaptive default (1 when inline or on
+  /// a 1-worker pool, else min(n, workers * kChunksPerWorker), which
+  /// varies with the pool size).  Pin this to a constant when the body
+  /// consumes ctx.rng or per-chunk identity and results must be
+  /// bit-identical across thread counts.
   std::size_t chunks = 0;
   /// Base seed for the per-chunk RNG streams.
   std::uint64_t seed = 0;
-  /// When set, each chunk gets a private registry shard, merged into this
-  /// sink in chunk order after the join.
+  /// When set, each worker lane gets a private registry shard; the
+  /// epoch-ordered combination of all shards is merged into this sink
+  /// after the join.
   obs::MetricsRegistry* metrics_sink = nullptr;
 };
 
-/// Default chunk count: enough slack for load balancing on any sane core
-/// count without per-item dispatch overhead.
+/// Chunks per worker under the adaptive default: enough slack for the
+/// ticket scheduler to balance uneven chunks without shrinking chunks to
+/// per-item dispatch.
+inline constexpr std::size_t kChunksPerWorker = 8;
+
+/// Pool-size-independent chunk count for callers that pin their chunking
+/// (e.g. the data-plane lookup server's shard planner).  No longer the
+/// parallel_for default — see ParallelOptions::chunks.
 inline constexpr std::size_t kDefaultChunks = 64;
 
 /// Splits [0, n) into at most `chunks` contiguous [begin, end) ranges of
@@ -69,8 +100,8 @@ inline constexpr std::size_t kDefaultChunks = 64;
     std::size_t n, std::size_t chunks);
 
 /// Runs body(i, ctx) for every i in [0, n), chunked over `pool` (nullptr
-/// or a 1-thread pool runs inline on the calling thread with identical
-/// semantics).  Blocks until every chunk finished.
+/// runs inline on the calling thread with identical semantics).  Blocks
+/// until every chunk finished.
 void parallel_for(ThreadPool* pool, std::size_t n,
                   const std::function<void(std::size_t, TaskContext&)>& body,
                   const ParallelOptions& opts = {});

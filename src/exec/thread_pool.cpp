@@ -1,5 +1,6 @@
 #include "exec/thread_pool.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -8,8 +9,12 @@
 
 namespace dragon::exec {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, PoolOptions options) {
   if (threads == 0) threads = default_thread_count();
+  requested_ = threads;
+  if (options.cap_to_hardware) {
+    threads = std::min(threads, default_thread_count());
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });

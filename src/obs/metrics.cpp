@@ -146,13 +146,15 @@ void append_number(std::string& out, std::uint64_t v) {
 MetricsRegistry::MetricsRegistry(MetricsRegistry&& other) noexcept
     : counters_(std::move(other.counters_)),
       gauges_(std::move(other.gauges_)),
-      histograms_(std::move(other.histograms_)) {}
+      histograms_(std::move(other.histograms_)),
+      write_epoch_(std::move(other.write_epoch_)) {}
 
 MetricsRegistry& MetricsRegistry::operator=(MetricsRegistry&& other) noexcept {
   if (this != &other) {
     counters_ = std::move(other.counters_);
     gauges_ = std::move(other.gauges_);
     histograms_ = std::move(other.histograms_);
+    write_epoch_ = std::move(other.write_epoch_);
 #ifndef NDEBUG
     writer_.store(0, std::memory_order_relaxed);
 #endif
@@ -207,7 +209,14 @@ Counter* MetricsRegistry::counter(std::string_view name) {
 
 Gauge* MetricsRegistry::gauge(std::string_view name) {
   assert_writer();
-  return get_or_create(gauges_, name);
+  Gauge* g = get_or_create(gauges_, name);
+  g->epoch_src_ = write_epoch_.get();
+  return g;
+}
+
+void MetricsRegistry::set_write_epoch(std::uint64_t epoch) noexcept {
+  assert_writer();
+  if (write_epoch_ != nullptr) *write_epoch_ = epoch;
 }
 
 Histogram* MetricsRegistry::histogram(std::string_view name) {
@@ -240,6 +249,23 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   }
   for (const auto& [name, g] : other.gauges_) {
     gauge(name)->set(g->value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name)->merge_from(*h);
+  }
+}
+
+void MetricsRegistry::merge_ordered_from(const MetricsRegistry& other) {
+  assert_writer();
+  for (const auto& [name, c] : other.counters_) {
+    counter(name)->inc(c->value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    Gauge* mine = gauge(name);
+    if (g->epoch_ >= mine->epoch_) {
+      mine->value_ = g->value_;
+      mine->epoch_ = g->epoch_;
+    }
   }
   for (const auto& [name, h] : other.histograms_) {
     histogram(name)->merge_from(*h);

@@ -38,15 +38,49 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
+/// Gauges carry a *write epoch* alongside the value: every mutation
+/// stamps the owning registry's current epoch (see
+/// MetricsRegistry::set_write_epoch).  Outside the parallel runtime the
+/// epoch stays 0 and gauges behave exactly as before; inside
+/// exec::parallel_for the epoch is the chunk index, which is what makes
+/// out-of-order shard merges reproduce the chunk-ordered result
+/// (merge_ordered_from keeps the highest-epoch write).  add() starting a
+/// new epoch resets the accumulation first, reproducing the
+/// fresh-shard-per-chunk semantics the runtime used to get from
+/// allocating a registry per chunk.
 class Gauge {
  public:
-  void set(double v) noexcept { value_ = v; }
-  void add(double d) noexcept { value_ += d; }
-  void reset() noexcept { value_ = 0.0; }
+  void set(double v) noexcept {
+    value_ = v;
+    epoch_ = current_epoch();
+  }
+  void add(double d) noexcept {
+    const std::uint64_t e = current_epoch();
+    if (e != epoch_) {
+      value_ = 0.0;
+      epoch_ = e;
+    }
+    value_ += d;
+  }
+  void reset() noexcept {
+    value_ = 0.0;
+    epoch_ = 0;
+  }
   [[nodiscard]] double value() const noexcept { return value_; }
 
  private:
+  friend class MetricsRegistry;
+
+  [[nodiscard]] std::uint64_t current_epoch() const noexcept {
+    return epoch_src_ == nullptr ? 0 : *epoch_src_;
+  }
+
   double value_ = 0.0;
+  /// Epoch of the last write; 0 = never written under a nonzero epoch.
+  std::uint64_t epoch_ = 0;
+  /// The owning registry's epoch cell (heap-stable across registry
+  /// moves); nullptr only for a moved-from registry's new gauges.
+  const std::uint64_t* epoch_src_ = nullptr;
 };
 
 class Histogram {
@@ -143,6 +177,21 @@ class MetricsRegistry {
   /// aggregate per-trial registries.
   void merge_from(const MetricsRegistry& other);
 
+  /// Epoch-ordered variant for the parallel runtime's per-worker shards:
+  /// counters and histograms sum as in merge_from, but a gauge is only
+  /// overwritten when `other`'s write epoch is >= this registry's — so
+  /// merging worker shards in *any* order yields the value written by the
+  /// highest-epoch (i.e. highest chunk index) writer, bit-identical to
+  /// the sequential chunk-ordered merge.  Gauges never written under a
+  /// nonzero epoch (epoch 0) lose to any real write.
+  void merge_ordered_from(const MetricsRegistry& other);
+
+  /// Sets the epoch stamped onto subsequent gauge writes (see Gauge).
+  /// exec::parallel_for sets `chunk + 1` before running each chunk body
+  /// on a reusable worker shard; 0 (the default) restores plain
+  /// last-writer-wins behaviour.
+  void set_write_epoch(std::uint64_t epoch) noexcept;
+
   /// Full value state (names + values) for simulator snapshot/restore.
   struct Snapshot {
     std::map<std::string, std::uint64_t, std::less<>> counters;
@@ -170,6 +219,10 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// Heap cell so gauge handles stay valid across registry moves (the
+  /// unique_ptr moves, the pointee address does not).
+  std::unique_ptr<std::uint64_t> write_epoch_ =
+      std::make_unique<std::uint64_t>(0);
 #ifndef NDEBUG
   std::atomic<std::uint64_t> writer_{0};
 #endif

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <ctime>
 #include <mutex>
 
 namespace dragon::obs {
@@ -58,6 +59,17 @@ std::uint64_t span_now_ns() noexcept {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - epoch)
           .count());
+}
+
+std::uint64_t span_thread_cpu_ns() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000u +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
 }
 
 SpanBuffer::SpanBuffer(std::size_t capacity)
@@ -138,6 +150,7 @@ void span_reset() {
        site != nullptr; site = site->next) {
     site->calls.store(0, std::memory_order_relaxed);
     site->total_ns.store(0, std::memory_order_relaxed);
+    site->total_cpu_ns.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -149,6 +162,8 @@ std::vector<SpanSiteTotals> span_site_totals() {
     if (calls == 0) continue;
     const std::uint64_t total =
         site->total_ns.load(std::memory_order_relaxed);
+    const std::uint64_t cpu =
+        site->total_cpu_ns.load(std::memory_order_relaxed);
     auto match = std::find_if(out.begin(), out.end(), [&](const auto& row) {
       return std::strcmp(row.category, site->category) == 0 &&
              std::strcmp(row.name, site->name) == 0;
@@ -156,8 +171,9 @@ std::vector<SpanSiteTotals> span_site_totals() {
     if (match != out.end()) {
       match->calls += calls;
       match->total_ns += total;
+      match->cpu_ns += cpu;
     } else {
-      out.push_back({site->category, site->name, calls, total});
+      out.push_back({site->category, site->name, calls, total, cpu});
     }
   }
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {

@@ -58,6 +58,12 @@ void span_enable(bool on);
 /// epoch is captured on first use, so all values are small positives).
 [[nodiscard]] std::uint64_t span_now_ns() noexcept;
 
+/// Nanoseconds of CPU time consumed by the *calling thread*
+/// (CLOCK_THREAD_CPUTIME_ID; 0 where unavailable).  The wall/cpu gap of
+/// a span is time the thread sat descheduled — the signature of an
+/// oversubscribed pool, invisible to wall clocks alone.
+[[nodiscard]] std::uint64_t span_thread_cpu_ns() noexcept;
+
 /// One instrumented source location.  The string pointers must have
 /// static storage duration (the DRAGON_SPAN macros pass literals);
 /// `arg_keys` name the per-record argument slots, nullptr when unused.
@@ -72,14 +78,20 @@ struct SpanSite {
   const char* arg_keys[3];
   std::atomic<std::uint64_t> calls{0};
   std::atomic<std::uint64_t> total_ns{0};
+  /// Thread CPU time inside the span (wall minus cpu = descheduled).
+  std::atomic<std::uint64_t> total_cpu_ns{0};
   SpanSite* next = nullptr;  // global registration list
 };
 
-/// One completed span as stored in a ring buffer (48 bytes).
+/// One completed span as stored in a ring buffer (72 bytes).
 struct SpanRecord {
   const SpanSite* site = nullptr;
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
+  /// Thread CPU clock at span start and CPU time consumed inside the
+  /// span (see span_thread_cpu_ns); exported as Chrome "tts"/"tdur".
+  std::uint64_t cpu_start_ns = 0;
+  std::uint64_t cpu_dur_ns = 0;
   std::uint64_t args[3] = {0, 0, 0};
 };
 
@@ -173,6 +185,9 @@ struct SpanSiteTotals {
   const char* name = nullptr;
   std::uint64_t calls = 0;
   std::uint64_t total_ns = 0;
+  /// Thread CPU time across all calls; total_ns - cpu_ns is time spent
+  /// descheduled (or blocked) inside the span.
+  std::uint64_t cpu_ns = 0;
 };
 [[nodiscard]] std::vector<SpanSiteTotals> span_site_totals();
 
@@ -191,6 +206,7 @@ class SpanScope {
       args_[1] = a1;
       args_[2] = a2;
       start_ = span_now_ns();
+      cpu_start_ = span_thread_cpu_ns();
     }
   }
 
@@ -200,11 +216,14 @@ class SpanScope {
     rec.site = site_;
     rec.start_ns = start_;
     rec.dur_ns = span_now_ns() - start_;
+    rec.cpu_start_ns = cpu_start_;
+    rec.cpu_dur_ns = span_thread_cpu_ns() - cpu_start_;
     rec.args[0] = args_[0];
     rec.args[1] = args_[1];
     rec.args[2] = args_[2];
     site_->calls.fetch_add(1, std::memory_order_relaxed);
     site_->total_ns.fetch_add(rec.dur_ns, std::memory_order_relaxed);
+    site_->total_cpu_ns.fetch_add(rec.cpu_dur_ns, std::memory_order_relaxed);
     span_local_buffer().push(rec);
   }
 
@@ -219,6 +238,7 @@ class SpanScope {
  private:
   SpanSite* site_ = nullptr;
   std::uint64_t start_ = 0;
+  std::uint64_t cpu_start_ = 0;
   std::uint64_t args_[3] = {0, 0, 0};
 };
 

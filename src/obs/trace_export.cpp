@@ -74,12 +74,17 @@ void emit_trace(const TraceExportOptions& options, Sink&& sink) {
   for (const ThreadSpans& thread : threads) {
     for (const SpanRecord& rec : thread.records) {
       // Microseconds with three decimals: full steady-clock resolution.
+      // tdur is the span's thread CPU time (Chrome's "tts"/"tdur" fields);
+      // dur - tdur is time the thread sat descheduled inside the span.
       std::snprintf(buf, sizeof buf,
                     "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
-                    "\"dur\":%.3f,\"cat\":\"%s\",\"name\":\"%s\"",
+                    "\"dur\":%.3f,\"tts\":%.3f,\"tdur\":%.3f,"
+                    "\"cat\":\"%s\",\"name\":\"%s\"",
                     thread.tid, static_cast<double>(rec.start_ns) / 1e3,
-                    static_cast<double>(rec.dur_ns) / 1e3, rec.site->category,
-                    rec.site->name);
+                    static_cast<double>(rec.dur_ns) / 1e3,
+                    static_cast<double>(rec.cpu_start_ns) / 1e3,
+                    static_cast<double>(rec.cpu_dur_ns) / 1e3,
+                    rec.site->category, rec.site->name);
       std::string line = buf;
       bool has_args = false;
       for (std::size_t i = 0; i < 3; ++i) {

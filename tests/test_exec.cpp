@@ -84,6 +84,20 @@ TEST(ExecSmoke, DefaultThreadCountIsAtLeastOne) {
   EXPECT_GE(ThreadPool::default_thread_count(), 1u);
 }
 
+TEST(ExecSmoke, PoolCapRespectsHardware) {
+  // cap_to_hardware clamps the spawned workers but keeps the asked-for
+  // count for reporting; without the option the pool spawns exactly what
+  // was requested (tests rely on real oversubscription for interleaving).
+  ThreadPool capped(4096, PoolOptions{.cap_to_hardware = true});
+  EXPECT_EQ(capped.requested(), 4096u);
+  EXPECT_EQ(capped.size(),
+            std::min<std::size_t>(4096, ThreadPool::default_thread_count()));
+
+  ThreadPool uncapped(2);
+  EXPECT_EQ(uncapped.requested(), 2u);
+  EXPECT_EQ(uncapped.size(), 2u);
+}
+
 // ---------------------------------------------------------------------------
 // static_chunks
 // ---------------------------------------------------------------------------
@@ -111,6 +125,27 @@ TEST(ExecSmoke, StaticChunksPartitionTheRange) {
         EXPECT_LE(hi - lo, 1u);
       }
     }
+  }
+}
+
+TEST(ExecSmoke, StaticChunksDegenerateCases) {
+  // n == 0: always empty, whatever the chunk request (including 0).
+  EXPECT_TRUE(static_chunks(0, 0).empty());
+  EXPECT_TRUE(static_chunks(0, 1).empty());
+  EXPECT_TRUE(static_chunks(0, 16).empty());
+
+  // chunks == 0 clamps up to one chunk covering the whole range.
+  const auto whole = static_chunks(5, 0);
+  ASSERT_EQ(whole.size(), 1u);
+  EXPECT_EQ(whole[0].first, 0u);
+  EXPECT_EQ(whole[0].second, 5u);
+
+  // n < chunks: n unit chunks, never an empty chunk.
+  const auto unit = static_chunks(3, 16);
+  ASSERT_EQ(unit.size(), 3u);
+  for (std::size_t i = 0; i < unit.size(); ++i) {
+    EXPECT_EQ(unit[i].first, i);
+    EXPECT_EQ(unit[i].second, i + 1);
   }
 }
 
@@ -166,6 +201,10 @@ ParallelRun run_stochastic_loop(ThreadPool* pool, std::size_t n) {
         ctx.metrics->histogram("exec.test.low3")->observe(draw & 7);
         ctx.metrics->gauge("exec.test.last_chunk")
             ->set(static_cast<double>(ctx.chunk));
+        // Accumulating gauge: restarts per chunk (fresh-shard semantics),
+        // so the merged value is the LAST chunk's item count — identical
+        // for any thread count or shard layout.
+        ctx.metrics->gauge("exec.test.chunk_items")->add(1.0);
       },
       opts);
   run.metrics_json = sink.to_json();
@@ -200,6 +239,83 @@ TEST(ExecSmoke, ParallelForIsThreadCountInvariant) {
       opts);
   EXPECT_EQ(sink.find_counter("exec.test.items")->value(), kN);
   EXPECT_DOUBLE_EQ(sink.find_gauge("exec.test.last_chunk")->value(), 15.0);
+}
+
+TEST(ExecSmoke, TicketSchedulerDeterministicAcrossThreadsAndRepeats) {
+  // The ticket scheduler assigns chunks to lanes by claim order, which
+  // varies run to run — results must not.  Every thread count and every
+  // repeat must reproduce the inline run bit-for-bit, metrics included.
+  constexpr std::size_t kN = 300;
+  const ParallelRun reference = run_stochastic_loop(nullptr, kN);
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      ThreadPool pool(threads);
+      const ParallelRun run = run_stochastic_loop(&pool, kN);
+      EXPECT_EQ(run.values, reference.values)
+          << threads << " threads, repeat " << repeat;
+      EXPECT_EQ(run.metrics_json, reference.metrics_json)
+          << threads << " threads, repeat " << repeat;
+    }
+  }
+}
+
+TEST(ExecSmoke, AdaptiveDefaultRunsEveryItemOnce) {
+  // opts.chunks == 0 adapts the chunk count to the pool; whatever it
+  // picks, every index must run exactly once and chunk indices must stay
+  // within the derived chunk list.
+  constexpr std::size_t kN = 1000;
+  for (const std::size_t threads : {0u, 1u, 3u, 8u}) {  // 0 = inline
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+    std::vector<int> seen(kN, 0);
+    std::atomic<std::size_t> total{0};
+    std::atomic<std::size_t> max_chunk{0};
+    parallel_for(pool.get(), kN,
+                 [&](std::size_t i, TaskContext& ctx) {
+                   ++seen[i];  // each index is owned by exactly one chunk
+                   total.fetch_add(1, std::memory_order_relaxed);
+                   std::size_t prev =
+                       max_chunk.load(std::memory_order_relaxed);
+                   while (prev < ctx.chunk &&
+                          !max_chunk.compare_exchange_weak(
+                              prev, ctx.chunk, std::memory_order_relaxed)) {
+                   }
+                 });
+    EXPECT_EQ(total.load(), kN) << threads << " threads";
+    EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                            [](int c) { return c == 1; }))
+        << threads << " threads";
+    const std::size_t workers = pool ? pool->size() : 1;
+    const std::size_t expect_chunks =
+        workers <= 1 ? 1 : std::min(kN, workers * kChunksPerWorker);
+    EXPECT_LT(max_chunk.load(), expect_chunks) << threads << " threads";
+  }
+}
+
+TEST(ExecSmoke, LowestChunkExceptionWins) {
+  // Two chunks throw; whichever lane hits its failure first, the caller
+  // must always see the lowest-indexed chunk's exception.
+  const auto failing_run = [](ThreadPool* pool) -> std::string {
+    ParallelOptions opts;
+    opts.chunks = 8;
+    try {
+      parallel_for(
+          pool, 100,
+          [](std::size_t, TaskContext& ctx) {
+            if (ctx.chunk == 2) throw std::runtime_error("chunk2");
+            if (ctx.chunk == 5) throw std::runtime_error("chunk5");
+          },
+          opts);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "no exception";
+  };
+  EXPECT_EQ(failing_run(nullptr), "chunk2");
+  ThreadPool pool(4);
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    EXPECT_EQ(failing_run(&pool), "chunk2") << "repeat " << repeat;
+  }
 }
 
 TEST(ExecSmoke, ParallelForExceptionLeavesSinkUntouched) {

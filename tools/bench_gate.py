@@ -22,10 +22,27 @@ ASan/TSan presets where a 10-30x slowdown is normal.  The per-preset
 catches order-of-magnitude regressions (an accidental O(n^2), a debug
 container swap) rather than noise.
 
+``--scaling-check`` adds the core-aware scaling rules over the
+*candidate* artifact alone (a BENCH_scaling.json).  The artifact stamps
+the machine's ``hw_concurrency`` into its meta, and the rules adapt:
+
+* ``scaling.seconds.pool1`` / sequential must stay within
+  ``--overhead-pool1`` — the runtime's pure dispatch overhead, on any box.
+* every ``scaling.seconds.threads.T`` with T > hw_concurrency must stay
+  within ``--overhead-oversub`` of sequential — asking for more threads
+  than cores must degrade gracefully, on any box.
+* when hw_concurrency >= 4, ``scaling.speedup.threads.4`` must reach
+  ``--scaling-floor`` — real parallel speedup, enforced only where the
+  cores exist (0 disables the floor, e.g. under sanitizers).
+
 Usage:
     bench_gate.py --baseline bench/BENCH_micro.json \
                   --candidate build/BENCH_micro.json \
                   [--max-ratio 8.0] [--metric-prefix micro.]
+    bench_gate.py --baseline bench/BENCH_scaling.json \
+                  --candidate build/BENCH_scaling.json \
+                  --scaling-check [--scaling-floor 2.5] \
+                  [--overhead-pool1 1.05] [--overhead-oversub 1.10]
 """
 
 import argparse
@@ -81,7 +98,85 @@ def check_coverage(baseline, candidate, prefix):
     return failures
 
 
-def main():
+def check_scaling(candidate, floor, pool1_ratio, oversub_ratio):
+    """Core-aware scaling rules over the candidate artifact alone.
+
+    Returns a list of failure strings.  All rules key off the
+    hw_concurrency the artifact was produced on, so the same gate
+    invocation is correct on a laptop and a many-core CI box.
+    """
+    meta, gauges = load_section(candidate, "", "gauges")
+    failures = []
+
+    hw = meta.get("hw_concurrency")
+    if not isinstance(hw, int) or hw < 1:
+        return ["meta.hw_concurrency missing from %s -- refresh the "
+                "artifact with a current bench build" % candidate]
+
+    seconds = {}   # thread count -> wall seconds
+    pool1 = None
+    speedup4 = None
+    for name, value in gauges.items():
+        if ".scaling.seconds.threads." in "." + name:
+            try:
+                seconds[int(name.rsplit(".", 1)[1])] = value
+            except ValueError:
+                pass
+        elif name.endswith("scaling.seconds.pool1"):
+            pool1 = value
+        elif name.endswith("scaling.speedup.threads.4"):
+            speedup4 = value
+
+    seq = seconds.get(1)
+    if seq is None or seq <= 0:
+        return ["no sequential entry (scaling.seconds.threads.1) in %s"
+                % candidate]
+
+    if pool1 is None:
+        failures.append("scaling.seconds.pool1 missing (1-worker pool "
+                        "overhead audit did not run)")
+    else:
+        ratio = pool1 / seq
+        status = "FAIL" if ratio > pool1_ratio else "ok"
+        print("bench_gate: %-4s scaling pool1/seq %26.3f/%.3f s  "
+              "ratio=%6.3f (max %.3f)"
+              % (status, pool1, seq, ratio, pool1_ratio))
+        if ratio > pool1_ratio:
+            failures.append("pool-with-1-thread overhead %.3fx > %.3fx"
+                            % (ratio, pool1_ratio))
+
+    for threads in sorted(seconds):
+        if threads <= hw:
+            continue
+        ratio = seconds[threads] / seq
+        status = "FAIL" if ratio > oversub_ratio else "ok"
+        print("bench_gate: %-4s scaling %d threads on %d core(s) "
+              "%11.3f/%.3f s  ratio=%6.3f (max %.3f)"
+              % (status, threads, hw, seconds[threads], seq, ratio,
+                 oversub_ratio))
+        if ratio > oversub_ratio:
+            failures.append("oversubscribed %d-thread wall %.3fx > %.3fx "
+                            "of sequential" % (threads, ratio,
+                                               oversub_ratio))
+
+    if floor > 0 and hw >= 4:
+        if speedup4 is None:
+            failures.append("hw_concurrency=%d but no "
+                            "scaling.speedup.threads.4 gauge" % hw)
+        else:
+            status = "FAIL" if speedup4 < floor else "ok"
+            print("bench_gate: %-4s scaling speedup@4 %21.2fx "
+                  "(floor %.2fx, hw=%d)" % (status, speedup4, floor, hw))
+            if speedup4 < floor:
+                failures.append("speedup at 4 threads %.2fx < floor %.2fx"
+                                % (speedup4, floor))
+    elif floor > 0:
+        print("bench_gate: note: speedup floor skipped "
+              "(hw_concurrency=%d < 4)" % hw)
+    return failures
+
+
+def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True,
                     help="committed baseline JSON (e.g. bench/BENCH_micro.json)")
@@ -101,7 +196,20 @@ def main():
                          "with this name prefix to be present in the "
                          "candidate with a value >= the baseline's "
                          "(scenario coverage must never shrink)")
-    args = ap.parse_args()
+    ap.add_argument("--scaling-check", action="store_true",
+                    help="additionally apply the core-aware scaling rules "
+                         "to the candidate artifact (see module docstring)")
+    ap.add_argument("--scaling-floor", type=float, default=2.5,
+                    help="with --scaling-check: minimum speedup at 4 "
+                         "threads when the candidate machine has >= 4 "
+                         "cores; 0 disables (default: %(default)s)")
+    ap.add_argument("--overhead-pool1", type=float, default=1.05,
+                    help="with --scaling-check: max pool-with-1-thread / "
+                         "sequential wall ratio (default: %(default)s)")
+    ap.add_argument("--overhead-oversub", type=float, default=1.10,
+                    help="with --scaling-check: max oversubscribed-threads "
+                         "/ sequential wall ratio (default: %(default)s)")
+    args = ap.parse_args(argv)
 
     base_meta, base = load_gauges(args.baseline, args.metric_prefix)
     cand_meta, cand = load_gauges(args.candidate, args.metric_prefix)
@@ -135,7 +243,13 @@ def main():
         coverage_failures = check_coverage(args.baseline, args.candidate,
                                            args.coverage_prefix)
 
-    if failures or coverage_failures:
+    scaling_failures = []
+    if args.scaling_check:
+        scaling_failures = check_scaling(args.candidate, args.scaling_floor,
+                                         args.overhead_pool1,
+                                         args.overhead_oversub)
+
+    if failures or coverage_failures or scaling_failures:
         if failures:
             print("bench_gate: FAILED: %d gauge(s) regressed beyond %.1fx:"
                   % (len(failures), args.max_ratio))
@@ -143,10 +257,13 @@ def main():
                 print("bench_gate:   %s (%.2fx)" % (name, ratio))
         for detail in coverage_failures:
             print("bench_gate: FAILED coverage: %s" % detail)
+        for detail in scaling_failures:
+            print("bench_gate: FAILED scaling: %s" % detail)
         return 1
-    print("bench_gate: passed (%d gauges, max-ratio %.1f%s)"
+    print("bench_gate: passed (%d gauges, max-ratio %.1f%s%s)"
           % (len(shared), args.max_ratio,
-             ", coverage ok" if args.coverage_prefix else ""))
+             ", coverage ok" if args.coverage_prefix else "",
+             ", scaling ok" if args.scaling_check else ""))
     return 0
 
 

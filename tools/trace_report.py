@@ -46,11 +46,12 @@ BUCKET_OF = {
 
 
 class Span(object):
-    __slots__ = ("start", "end", "cat", "name", "bucket", "children")
+    __slots__ = ("start", "end", "cpu", "cat", "name", "bucket", "children")
 
-    def __init__(self, start, end, cat, name):
+    def __init__(self, start, end, cpu, cat, name):
         self.start = start            # integer ns
         self.end = end                # integer ns
+        self.cpu = cpu                # thread CPU ns inside the span
         self.cat = cat
         self.name = name
         self.bucket = BUCKET_OF.get((cat, name), "compute")
@@ -66,11 +67,14 @@ def load_trace(path):
         if ev.get("ph") != "X":
             continue
         # ts/dur are microseconds with ns precision; integer ns below
-        # keeps the nesting arithmetic exact.
+        # keeps the nesting arithmetic exact.  tdur (thread CPU time) is
+        # optional so traces from before the field existed still load.
         start = int(round(float(ev["ts"]) * 1000.0))
         dur = int(round(float(ev["dur"]) * 1000.0))
+        cpu = int(round(float(ev.get("tdur", 0.0)) * 1000.0))
         threads[ev["tid"]].append(
-            Span(start, start + dur, ev.get("cat", ""), ev.get("name", "")))
+            Span(start, start + dur, cpu,
+                 ev.get("cat", ""), ev.get("name", "")))
     for spans in threads.values():
         spans.sort(key=lambda s: (s.start, -(s.end - s.start)))
     return doc, dict(threads)
@@ -173,6 +177,12 @@ def analyze(doc, threads):
         t_max = last if t_max is None else max(t_max, last)
         attributed = sum(time.values())
         window = last - first
+        # Root spans tile the thread's instrumented wall without
+        # double-counting, so their cpu sum is the thread's CPU inside
+        # spans; the remainder is time spent descheduled (or the field
+        # is absent in an old trace, where cpu stays 0).
+        root_wall = sum(r.end - r.start for r in roots)
+        root_cpu = sum(r.cpu for r in roots)
         per_thread.append({
             "tid": tid,
             "name": names.get(tid, "tid-%s" % tid),
@@ -180,6 +190,8 @@ def analyze(doc, threads):
             "attributed": attributed,
             "coverage": attributed / window if window > 0 else 1.0,
             "time": time,
+            "cpu": root_cpu,
+            "desched": max(0, root_wall - root_cpu),
             "spans": len(spans),
         })
         all_compute.extend(intervals)
@@ -223,17 +235,21 @@ def print_report(doc, threads, analysis, top):
                  ", ".join("%s=%s" % kv for kv in sorted(dropped.items()))))
 
     print("\nper-thread attribution (seconds):")
-    print("  %-18s %7s %10s %10s %10s %10s %10s  %s"
+    print("  %-18s %7s %10s %10s %10s %10s %10s %10s %10s  %s"
           % ("thread", "spans", "compute", "idle", "merge", "commit",
-             "window", "coverage"))
+             "cpu", "desched", "window", "coverage"))
     totals = dict.fromkeys(BUCKETS, 0)
+    cpu_total = desched_total = 0
     for t in analysis["threads"]:
         for b in BUCKETS:
             totals[b] += t["time"][b]
-        print("  %-18s %7d %s %s %s %s %s  %6.1f%%"
+        cpu_total += t["cpu"]
+        desched_total += t["desched"]
+        print("  %-18s %7d %s %s %s %s %s %s %s  %6.1f%%"
               % (t["name"], t["spans"], fmt_s(t["time"]["compute"]),
                  fmt_s(t["time"]["idle"]), fmt_s(t["time"]["merge"]),
-                 fmt_s(t["time"]["commit"]), fmt_s(t["window"]),
+                 fmt_s(t["time"]["commit"]), fmt_s(t["cpu"]),
+                 fmt_s(t["desched"]), fmt_s(t["window"]),
                  100.0 * t["coverage"]))
 
     profile = analysis["profile"]
@@ -270,6 +286,10 @@ def print_report(doc, threads, analysis, top):
     print("  merge overhead:    %s s" % fmt_s(totals["merge"]).strip())
     print("  commit/wait:       %s s" % fmt_s(totals["commit"]).strip())
     print("  idle (all threads):%s s" % fmt_s(totals["idle"]).strip())
+    print("  thread cpu:        %s s  (sum of root-span thread CPU)"
+          % fmt_s(cpu_total).strip())
+    print("  descheduled:       %s s  (instrumented wall - cpu; "
+          "oversubscription shows up here)" % fmt_s(desched_total).strip())
 
     if top:
         print("\ntop sites by total span time:")
@@ -304,6 +324,8 @@ def check(doc, threads, analysis, min_coverage):
         else:
             if float(ev["dur"]) < 0:
                 problems.append("negative dur: %r" % ev)
+            if "tdur" in ev and float(ev["tdur"]) < 0:
+                problems.append("negative tdur: %r" % ev)
 
     if not threads:
         problems.append("no complete ('ph':'X') span events")
